@@ -1,0 +1,194 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation plus the ablations, and runs Bechamel microbenchmarks of
+   the engine primitives.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe table1          # one target
+     dune exec bench/main.exe table1 --baseline
+     dune exec bench/main.exe table2 --budget 1800   # the paper's budget
+     dune exec bench/main.exe -- --small      # scaled-down designs
+
+   Targets: table1 table2 figure1 guidance subsetting refine micro all *)
+
+open Rfn_circuit
+module E = Rfn_experiments.Experiments
+module Rfn = Rfn_core.Rfn
+module Atpg = Rfn_atpg.Atpg
+module Bdd = Rfn_bdd.Bdd
+module Varmap = Rfn_mc.Varmap
+module Symbolic = Rfn_mc.Symbolic
+module Image = Rfn_mc.Image
+module Reach = Rfn_mc.Reach
+module Sim3v = Rfn_sim3v.Sim3v
+module Mincut = Rfn_mincut.Mincut
+
+let has flag = Array.exists (( = ) flag) Sys.argv
+
+let float_arg name default =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then default
+    else if Sys.argv.(i) = name then float_of_string Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
+
+let section title =
+  Format.printf "@.=== %s ===@.@." title
+
+(* ---- microbenchmarks (Bechamel) ------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  section "Microbenchmarks (engine primitives)";
+  (* shared workloads *)
+  let fifo = Rfn_designs.Fifo.make () in
+  let fifo_c = fifo.Rfn_designs.Fifo.circuit in
+  let proc = Rfn_designs.Processor.(make ~params:small ()) in
+  let proc_c = proc.Rfn_designs.Processor.circuit in
+  let big_proc = lazy (Rfn_designs.Processor.make ()) in
+
+  let bdd_image_step () =
+    (* one post-image on the FIFO property's refined abstraction *)
+    let abs =
+      Abstraction.with_regs fifo_c
+        ~roots:[ fifo.psh_hf.Property.bad ]
+        ~regs:
+          (List.filter_map
+             (fun n ->
+               match Circuit.find fifo_c n with
+               | s -> Some s
+               | exception Not_found -> None)
+             [ "count_0"; "count_1"; "count_2"; "count_3"; "count_4"; "hf_flag" ])
+    in
+    let vm = Varmap.make abs.Abstraction.view in
+    let img = Image.make vm in
+    let init = Symbolic.initial_states vm in
+    ignore (Image.post img (Image.post img init))
+  in
+  let atpg_trace_check () =
+    (* sequential ATPG over 8 frames of the small processor *)
+    let view = Sview.whole proc_c ~roots:[ proc.error_flag.Property.bad ] in
+    ignore
+      (Atpg.solve view ~frames:8
+         ~pins:[ (7, proc.error_flag.Property.bad, true) ]
+         ())
+  in
+  let sim_step () =
+    let view = Sview.whole fifo_c ~roots:[] in
+    let state = ref (fun _ -> Sim3v.V0) in
+    for _ = 1 to 10 do
+      let _, next =
+        Sim3v.step view ~free:(fun _ -> Sim3v.VX) ~state:!state
+      in
+      state := next
+    done
+  in
+  let mincut_bench () =
+    let abs =
+      Abstraction.initial proc_c ~roots:[ proc.error_flag.Property.bad ]
+    in
+    ignore (Mincut.compute abs.Abstraction.view)
+  in
+  let force_bench () =
+    let abs =
+      Abstraction.initial fifo_c ~roots:[ fifo.psh_hf.Property.bad ]
+    in
+    ignore (Varmap.make abs.Abstraction.view)
+  in
+  let fifo_verify () =
+    ignore (Rfn.verify fifo_c fifo.psh_full)
+  in
+  let coi_big () =
+    let p = Lazy.force big_proc in
+    ignore
+      (Coi.compute p.Rfn_designs.Processor.circuit
+         ~roots:[ p.mutex.Property.bad ])
+  in
+  let tests =
+    Test.make_grouped ~name:"rfn" ~fmt:"%s/%s"
+      [
+        Test.make ~name:"bdd-image-step" (Staged.stage bdd_image_step);
+        Test.make ~name:"atpg-8-frames" (Staged.stage atpg_trace_check);
+        Test.make ~name:"sim3v-10-cycles" (Staged.stage sim_step);
+        Test.make ~name:"mincut-abstract-model" (Staged.stage mincut_bench);
+        Test.make ~name:"force-varmap" (Staged.stage force_bench);
+        Test.make ~name:"rfn-verify-fifo-full" (Staged.stage fifo_verify);
+        Test.make ~name:"coi-5000-regs" (Staged.stage coi_big);
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200
+      ~quota:(Time.second 1.0)
+      ~kde:None ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold (fun name res acc -> (name, res) :: acc) results []
+    |> List.sort compare
+  in
+  Format.printf "%-28s %14s@." "benchmark" "time/run";
+  List.iter
+    (fun (name, res) ->
+      match Analyze.OLS.estimates res with
+      | Some (t :: _) ->
+        let pretty =
+          if t > 1e9 then Printf.sprintf "%8.2f s " (t /. 1e9)
+          else if t > 1e6 then Printf.sprintf "%8.2f ms" (t /. 1e6)
+          else if t > 1e3 then Printf.sprintf "%8.2f us" (t /. 1e3)
+          else Printf.sprintf "%8.2f ns" t
+        in
+        Format.printf "%-28s %14s@." name pretty
+      | _ -> Format.printf "%-28s %14s@." name "n/a")
+    rows
+
+(* ---- drivers -------------------------------------------------------- *)
+
+let () =
+  let small = has "--small" in
+  let baseline = has "--baseline" in
+  let budget = float_arg "--budget" 20.0 in
+  let bfs_k = int_of_float (float_arg "--bfs-k" 60.0) in
+  let explicit =
+    List.filter
+      (fun a ->
+        List.mem a
+          [ "table1"; "table2"; "figure1"; "guidance"; "subsetting"; "refine";
+            "micro"; "all" ])
+      (Array.to_list Sys.argv)
+  in
+  let want t = explicit = [] || List.mem t explicit || List.mem "all" explicit in
+  (* a full harness run includes the paper's COI-MC baseline footnote *)
+  let baseline = baseline || explicit = [] || List.mem "all" explicit in
+  if want "table1" then begin
+    section "Table 1 (property verification)";
+    E.Table1.(print Format.std_formatter (run ~small ~baseline ()))
+  end;
+  if want "table2" then begin
+    section
+      (Printf.sprintf "Table 2 (coverage analysis; RFN budget %.0fs, BFS k=%d)"
+         budget bfs_k);
+    E.Table2.(print Format.std_formatter (run ~small ~budget ~bfs_k ()))
+  end;
+  if want "figure1" then begin
+    section "Figure 1 (min-cut / hybrid-engine structure)";
+    E.Figure1.(print Format.std_formatter (run ~small ()))
+  end;
+  if want "guidance" then begin
+    section "Ablation: error-trace guidance for sequential ATPG (Sec. 2.3)";
+    E.Guidance.(print Format.std_formatter (run ~small ()))
+  end;
+  if want "subsetting" then begin
+    section "Ablation: BDD subsetting as pre-image fallback (Sec. 2.2)";
+    E.Subsetting.(print Format.std_formatter (run ~small ()))
+  end;
+  if want "refine" then begin
+    section "Ablation: greedy crucial-register minimization (Sec. 2.4)";
+    E.Refinement.(print Format.std_formatter (run ~small ()))
+  end;
+  if want "micro" then micro ()

@@ -1,0 +1,40 @@
+(* Prints design sizes and property COIs — used to calibrate the
+   generator parameters against the paper's Table 1/2 profiles. *)
+open Rfn_circuit
+
+let coi_line c name bad =
+  let coi = Coi.compute c ~roots:[ bad ] in
+  Printf.printf "  %-12s COI: %5d regs %7d gates\n%!" name (Coi.num_regs coi)
+    (Coi.num_gates coi)
+
+let () =
+  let fifo = Rfn_designs.Fifo.make () in
+  Printf.printf "fifo: %s\n%!"
+    (Format.asprintf "%a" Circuit.pp_stats fifo.Rfn_designs.Fifo.circuit);
+  coi_line fifo.circuit "psh_hf" fifo.psh_hf.Property.bad;
+  coi_line fifo.circuit "psh_af" fifo.psh_af.Property.bad;
+  coi_line fifo.circuit "psh_full" fifo.psh_full.Property.bad;
+  let t0 = Sys.time () in
+  let proc = Rfn_designs.Processor.make () in
+  Printf.printf "processor (built in %.1fs): %s\n%!" (Sys.time () -. t0)
+    (Format.asprintf "%a" Circuit.pp_stats proc.Rfn_designs.Processor.circuit);
+  coi_line proc.circuit "mutex" proc.mutex.Property.bad;
+  coi_line proc.circuit "error_flag" proc.error_flag.Property.bad;
+  let iu = Rfn_designs.Picojava_iu.make () in
+  Printf.printf "picojava_iu: %s\n%!"
+    (Format.asprintf "%a" Circuit.pp_stats iu.Rfn_designs.Picojava_iu.circuit);
+  List.iter
+    (fun (name, set) ->
+      let coi = Coi.compute iu.circuit ~roots:set in
+      Printf.printf "  %-12s COI: %5d regs %7d gates\n%!" name
+        (Coi.num_regs coi) (Coi.num_gates coi))
+    iu.coverage_sets;
+  let usb = Rfn_designs.Usb.make () in
+  Printf.printf "usb: %s\n%!"
+    (Format.asprintf "%a" Circuit.pp_stats usb.Rfn_designs.Usb.circuit);
+  List.iter
+    (fun (name, set) ->
+      let coi = Coi.compute usb.circuit ~roots:set in
+      Printf.printf "  %-12s COI: %5d regs %7d gates\n%!" name
+        (Coi.num_regs coi) (Coi.num_gates coi))
+    usb.coverage_sets

@@ -1,0 +1,294 @@
+(* rfn — command-line front end: verify unreachability properties or
+   run coverage analysis on ".bench"-style netlist files. *)
+
+open Cmdliner
+open Rfn_circuit
+module Rfn = Rfn_core.Rfn
+module Coverage = Rfn_core.Coverage
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+let load path =
+  try Ok (Bench_io.parse_file path) with
+  | Failure msg -> Error msg
+  | Sys_error msg -> Error msg
+
+let config_of ~max_seconds ~node_limit ~max_iterations =
+  {
+    Rfn.default_config with
+    Rfn.max_seconds;
+    node_limit;
+    max_iterations;
+  }
+
+(* ---- rfn verify ---------------------------------------------------- *)
+
+let verify_cmd =
+  let netlist =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST")
+  in
+  let prop =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUTPUT" ~doc:"Output signal acting as the bad-state indicator.")
+  in
+  let seconds =
+    Arg.(value & opt (some float) None & info [ "time-limit" ] ~docv:"S")
+  in
+  let nodes =
+    Arg.(value & opt int 2_000_000 & info [ "node-limit" ] ~docv:"N")
+  in
+  let iters = Arg.(value & opt int 64 & info [ "max-iterations" ] ~docv:"N") in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write the error trace (if any) to $(docv).")
+  in
+  let baseline = Arg.(value & flag & info [ "baseline" ]
+                        ~doc:"Also run plain COI model checking.") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
+  let run netlist prop seconds nodes iters trace_out baseline verbose =
+    setup_logs verbose;
+    match load netlist with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok circuit -> (
+      match Property.of_output circuit prop with
+      | exception Not_found ->
+        Format.eprintf "error: no output named %S@." prop;
+        1
+      | property -> (
+        let config =
+          config_of ~max_seconds:seconds ~node_limit:nodes
+            ~max_iterations:iters
+        in
+        let outcome, stats = Rfn.verify ~config circuit property in
+        Format.printf
+          "COI: %d registers, %d gates; %d iteration(s); final abstract \
+           model: %d registers; %.2fs@."
+          stats.Rfn.coi_regs stats.Rfn.coi_gates
+          (List.length stats.Rfn.iterations)
+          stats.Rfn.final_abstract_regs stats.Rfn.seconds;
+        if baseline then begin
+          let verdict, secs =
+            Rfn.check_coi_model_checking ?max_seconds:seconds circuit property
+          in
+          Format.printf "COI model checking baseline: %s (%.2fs)@."
+            (match verdict with
+            | `Proved -> "True"
+            | `Reached k -> Printf.sprintf "False at depth %d" k
+            | `Aborted why -> "fails — " ^ why)
+            secs
+        end;
+        match outcome with
+        | Rfn.Proved ->
+          Format.printf "RESULT: True (bad states unreachable)@.";
+          0
+        | Rfn.Falsified trace ->
+          Format.printf "RESULT: False — %d-cycle error trace@."
+            (Trace.length trace - 1);
+          (match trace_out with
+          | Some file ->
+            let oc = open_out file in
+            let ppf = Format.formatter_of_out_channel oc in
+            Format.fprintf ppf "%a@."
+              (Trace.pp ~names:(Circuit.name circuit))
+              trace;
+            close_out oc
+          | None ->
+            Format.printf "%a@." (Trace.pp ~names:(Circuit.name circuit)) trace);
+          2
+        | Rfn.Aborted why ->
+          Format.printf "RESULT: inconclusive (%s)@." why;
+          3))
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Verify that an output signal can never be driven to 1.")
+    Term.(
+      const run $ netlist $ prop $ seconds $ nodes $ iters $ trace_out
+      $ baseline $ verbose)
+
+(* ---- rfn coverage --------------------------------------------------- *)
+
+let coverage_cmd =
+  let netlist =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST")
+  in
+  let signals =
+    Arg.(
+      non_empty
+      & pos_right 0 string []
+      & info [] ~docv:"REGISTER" ~doc:"Coverage signals (register names).")
+  in
+  let budget = Arg.(value & opt float 60.0 & info [ "budget" ] ~docv:"S") in
+  let bfs = Arg.(value & flag & info [ "bfs" ] ~doc:"Use the BFS baseline.") in
+  let bfs_k = Arg.(value & opt int 60 & info [ "bfs-k" ] ~docv:"N") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
+  let run netlist signals budget bfs bfs_k verbose =
+    setup_logs verbose;
+    match load netlist with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok circuit -> (
+      match List.map (Circuit.find circuit) signals with
+      | exception Not_found ->
+        Format.eprintf "error: unknown coverage signal@.";
+        1
+      | coverage ->
+        let report =
+          if bfs then
+            Coverage.bfs_analysis ~k:bfs_k ~max_seconds:budget circuit
+              ~coverage
+          else
+            Coverage.rfn_analysis
+              ~config:
+                {
+                  Rfn.default_config with
+                  Rfn.max_seconds = Some budget;
+                  max_iterations = 1_000;
+                }
+              circuit ~coverage
+        in
+        Format.printf
+          "%d coverage states: %d unreachable, %d proven reachable, %d \
+           unknown (%.2fs; abstract model %d registers)@."
+          report.Coverage.total report.Coverage.unreachable
+          report.Coverage.reachable report.Coverage.unknown
+          report.Coverage.seconds report.Coverage.abstract_regs;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:"Identify unreachable coverage states over a register set.")
+    Term.(const run $ netlist $ signals $ budget $ bfs $ bfs_k $ verbose)
+
+(* ---- rfn bmc --------------------------------------------------------- *)
+
+let bmc_cmd =
+  let netlist =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST")
+  in
+  let prop =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT")
+  in
+  let depth = Arg.(value & opt int 50 & info [ "depth" ] ~docv:"N") in
+  let backtracks =
+    Arg.(value & opt int 200_000 & info [ "max-backtracks" ] ~docv:"N")
+  in
+  let run netlist prop depth backtracks =
+    match load netlist with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok circuit -> (
+      match Circuit.output circuit prop with
+      | exception Not_found ->
+        Format.eprintf "error: no output named %S@." prop;
+        1
+      | bad -> (
+        let limits =
+          { Rfn_atpg.Atpg.max_backtracks = backtracks; max_seconds = None }
+        in
+        match Rfn_core.Bmc.falsify ~limits circuit ~bad ~max_depth:depth with
+        | Rfn_core.Bmc.Found trace, stats ->
+          Format.printf
+            "violated at depth %d (%d decisions, %d backtracks)@.%a@."
+            (Trace.length trace - 1)
+            stats.Rfn_atpg.Atpg.decisions stats.Rfn_atpg.Atpg.backtracks
+            (Trace.pp ~names:(Circuit.name circuit))
+            trace;
+          2
+        | Rfn_core.Bmc.Exhausted, _ ->
+          Format.printf "no violation within %d cycles@." depth;
+          0
+        | Rfn_core.Bmc.Gave_up d, _ ->
+          Format.printf "gave up at depth %d (resource limit)@." d;
+          3))
+  in
+  Cmd.v
+    (Cmd.info "bmc"
+       ~doc:
+         "Bounded falsification by plain sequential ATPG (no abstraction, \
+          no guidance) — the baseline RFN's guided search improves on.")
+    Term.(const run $ netlist $ prop $ depth $ backtracks)
+
+(* ---- rfn simplify ----------------------------------------------------- *)
+
+let simplify_cmd =
+  let netlist =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let run netlist out =
+    match load netlist with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok circuit ->
+      let circuit', _, report = Opt.simplify circuit in
+      Format.eprintf
+        "gates: %d -> %d; registers: %d -> %d; %d constants folded@."
+        report.Opt.gates_before report.Opt.gates_after
+        report.Opt.registers_before report.Opt.registers_after
+        report.Opt.constants_folded;
+      (match out with
+      | Some file ->
+        let oc = open_out file in
+        output_string oc (Bench_io.to_string circuit');
+        close_out oc
+      | None -> print_string (Bench_io.to_string circuit'));
+      0
+  in
+  Cmd.v
+    (Cmd.info "simplify"
+       ~doc:
+         "Constant propagation, structural rewriting and dead-logic \
+          sweeping; writes the simplified netlist.")
+    Term.(const run $ netlist $ out)
+
+(* ---- rfn stats ------------------------------------------------------ *)
+
+let stats_cmd =
+  let netlist =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST")
+  in
+  let roots =
+    Arg.(value & pos_right 0 string [] & info [] ~docv:"SIGNAL"
+           ~doc:"Optional root signals for a COI report.")
+  in
+  let run netlist roots =
+    match load netlist with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok circuit ->
+      Format.printf "%a@." Circuit.pp_stats circuit;
+      (match roots with
+      | [] -> ()
+      | names -> (
+        match List.map (Circuit.find circuit) names with
+        | exception Not_found -> Format.eprintf "warning: unknown root@."
+        | roots ->
+          let coi = Coi.compute circuit ~roots in
+          Format.printf "COI of %s: %d registers, %d gates@."
+            (String.concat ", " names) (Coi.num_regs coi) (Coi.num_gates coi)));
+      0
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print design statistics and optional COI sizes.")
+    Term.(const run $ netlist $ roots)
+
+let () =
+  let doc = "formal property verification by abstraction refinement" in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "rfn" ~version:"1.0.0" ~doc)
+          [ verify_cmd; coverage_cmd; bmc_cmd; simplify_cmd; stats_cmd ]))

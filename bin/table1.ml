@@ -1,0 +1,9 @@
+(* Reproduces Table 1 of the paper (see Rfn_experiments.Table1).
+   Flags: --small (scaled-down designs), --baseline (run the COI
+   model-checking comparison the paper's footnote describes). *)
+
+let () =
+  let small = Array.exists (( = ) "--small") Sys.argv in
+  let baseline = Array.exists (( = ) "--baseline") Sys.argv in
+  Rfn_experiments.Experiments.Table1.(
+    print Format.std_formatter (run ~small ~baseline ()))

@@ -1,0 +1,18 @@
+(* Reproduces Table 2 of the paper (see Rfn_experiments.Table2).
+   Flags: --small, --budget S (RFN time budget per coverage set; the
+   paper used 1,800 s), --bfs-k N (BFS model size; the paper used 60). *)
+
+let arg_value name default =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then default
+    else if Sys.argv.(i) = name then float_of_string Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
+
+let () =
+  let small = Array.exists (( = ) "--small") Sys.argv in
+  let budget = arg_value "--budget" 20.0 in
+  let bfs_k = int_of_float (arg_value "--bfs-k" 60.0) in
+  Rfn_experiments.Experiments.Table2.(
+    print Format.std_formatter (run ~small ~budget ~bfs_k ()))

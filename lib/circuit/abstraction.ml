@@ -1,0 +1,79 @@
+type t = {
+  circuit : Circuit.t;
+  roots : int list;
+  regs : Bitset.t;
+  view : Sview.t;
+}
+
+(* Cone of the roots and of the chosen registers' next-state inputs,
+   stopping at register outputs (pseudo-inputs) unless the register is
+   chosen, in which case the traversal continues through its next-state
+   input. *)
+let build circuit ~roots ~regs =
+  let n = Circuit.num_signals circuit in
+  let inside = Bitset.create n and free = Bitset.create n in
+  let seen = Bitset.create n in
+  (* Chosen registers are part of the model even when no root cone
+     reads their output yet (the refined model is "current model + E +
+     transitive fanins of E"). *)
+  let stack = ref (roots @ Bitset.to_list regs) in
+  let push s = if not (Bitset.mem seen s) then stack := s :: !stack in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | s :: rest ->
+      stack := rest;
+      if not (Bitset.mem seen s) then begin
+        Bitset.add seen s;
+        Bitset.add inside s;
+        (match Circuit.node circuit s with
+        | Circuit.Input -> Bitset.add free s
+        | Circuit.Const _ -> ()
+        | Circuit.Gate (_, fanins) -> Array.iter push fanins
+        | Circuit.Reg { next; _ } ->
+          if Bitset.mem regs s then push next else Bitset.add free s)
+      end;
+      loop ()
+  in
+  loop ();
+  Sview.make circuit ~inside ~free ~roots
+
+let with_regs circuit ~roots ~regs =
+  let n = Circuit.num_signals circuit in
+  let set = Bitset.create n in
+  List.iter
+    (fun r ->
+      if not (Circuit.is_reg circuit r) then
+        invalid_arg "Abstraction.with_regs: not a register";
+      Bitset.add set r)
+    regs;
+  (* Registers named directly by the property are always concrete. *)
+  List.iter
+    (fun s -> if Circuit.is_reg circuit s then Bitset.add set s)
+    roots;
+  { circuit; roots; regs = set; view = build circuit ~roots ~regs:set }
+
+let initial circuit ~roots = with_regs circuit ~roots ~regs:[]
+
+let refine t ~add =
+  let regs = Bitset.copy t.regs in
+  List.iter
+    (fun r ->
+      if not (Circuit.is_reg t.circuit r) then
+        invalid_arg "Abstraction.refine: not a register";
+      Bitset.add regs r)
+    add;
+  {
+    t with
+    regs;
+    view = build t.circuit ~roots:t.roots ~regs;
+  }
+
+let num_regs t = Bitset.cardinal t.regs
+
+let pseudo_inputs t =
+  Array.to_list t.view.Sview.free_inputs
+  |> List.filter (fun s -> Circuit.is_reg t.circuit s)
+
+let is_pseudo_input t s =
+  Sview.is_free t.view s && Circuit.is_reg t.circuit s

@@ -1,0 +1,41 @@
+(** Abstract models (Step 1 of RFN).
+
+    RFN's abstract models are subcircuits of the original design: a
+    chosen set of registers plus the transitive fanins — up to register
+    outputs — of the property signals and of the chosen registers'
+    next-state inputs. Register outputs that the cone reaches but whose
+    register is not in the chosen set become free pseudo-inputs, as do
+    the primary inputs of the original design read by the cone.
+
+    In the very first iteration the chosen set contains only the
+    registers directly mentioned in the property (the property cone up
+    to register outputs); each refinement (Step 4) adds crucial
+    registers. *)
+
+type t = {
+  circuit : Circuit.t;
+  roots : int list;  (** property signals seeding the cone *)
+  regs : Bitset.t;  (** chosen (concrete) registers *)
+  view : Sview.t;  (** the abstract model as a subcircuit view *)
+}
+
+val initial : Circuit.t -> roots:int list -> t
+(** First abstract model: the property cone; registers appearing
+    directly as property signals are chosen, every other register
+    output the cone reaches becomes a pseudo-input. *)
+
+val with_regs : Circuit.t -> roots:int list -> regs:int list -> t
+(** Abstract model with an explicit register set (used by tests, the
+    BFS baseline and the greedy refinement, which probes many candidate
+    sets). Registers mentioned directly in [roots] are always
+    included. *)
+
+val refine : t -> add:int list -> t
+(** Add registers (and their transitive fanins) to the model. *)
+
+val num_regs : t -> int
+
+val pseudo_inputs : t -> int list
+(** Register outputs of the original design acting as free inputs. *)
+
+val is_pseudo_input : t -> int -> bool

@@ -1,0 +1,64 @@
+type t = { mutable card : int; bits : Bytes.t; len : int }
+
+let create len =
+  { card = 0; bits = Bytes.make ((len + 7) / 8) '\000'; len }
+
+let length t = t.len
+
+let check t i =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of [0,%d)" i t.len)
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  let bit = 1 lsl (i land 7) in
+  if byte land bit = 0 then begin
+    Bytes.set t.bits (i lsr 3) (Char.chr (byte lor bit));
+    t.card <- t.card + 1
+  end
+
+let remove t i =
+  check t i;
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  let bit = 1 lsl (i land 7) in
+  if byte land bit <> 0 then begin
+    Bytes.set t.bits (i lsr 3) (Char.chr (byte land lnot bit));
+    t.card <- t.card - 1
+  end
+
+let copy t = { t with bits = Bytes.copy t.bits }
+
+let cardinal t = t.card
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    if Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+    then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list len l =
+  let t = create len in
+  List.iter (add t) l;
+  t
+
+let union_into dst src = iter (add dst) src
+
+let equal a b = a.len = b.len && Bytes.equal a.bits b.bits
+
+let subset a b =
+  if a.len <> b.len then invalid_arg "Bitset.subset: universes differ";
+  let ok = ref true in
+  iter (fun i -> if not (mem b i) then ok := false) a;
+  !ok

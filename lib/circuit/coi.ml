@@ -1,0 +1,60 @@
+type t = { regs : Bitset.t; gates : Bitset.t; inputs : Bitset.t }
+
+let compute circuit ~roots =
+  let n = Circuit.num_signals circuit in
+  let regs = Bitset.create n
+  and gates = Bitset.create n
+  and inputs = Bitset.create n
+  and seen = Bitset.create n in
+  let stack = ref roots in
+  let push s = if not (Bitset.mem seen s) then stack := s :: !stack in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | s :: rest ->
+      stack := rest;
+      if not (Bitset.mem seen s) then begin
+        Bitset.add seen s;
+        (match Circuit.node circuit s with
+        | Circuit.Input -> Bitset.add inputs s
+        | Circuit.Const _ -> ()
+        | Circuit.Gate (_, fanins) ->
+          Bitset.add gates s;
+          Array.iter push fanins
+        | Circuit.Reg { next; _ } ->
+          Bitset.add regs s;
+          push next)
+      end;
+      loop ()
+  in
+  loop ();
+  { regs; gates; inputs }
+
+let num_regs t = Bitset.cardinal t.regs
+let num_gates t = Bitset.cardinal t.gates
+
+let restrict_view circuit t ~roots =
+  let n = Circuit.num_signals circuit in
+  let inside = Bitset.create n in
+  Bitset.union_into inside t.regs;
+  Bitset.union_into inside t.gates;
+  Bitset.union_into inside t.inputs;
+  List.iter (Bitset.add inside) roots;
+  (* Constants referenced from the cone must be inside too. Snapshot
+     the members first: mutating a bitset while iterating it could skip
+     indices below the iteration cursor. *)
+  let members = Bitset.to_list inside in
+  List.iter
+    (fun s ->
+      let add_const f =
+        match Circuit.node circuit f with
+        | Circuit.Const _ -> Bitset.add inside f
+        | _ -> ()
+      in
+      match Circuit.node circuit s with
+      | Circuit.Gate (_, fanins) -> Array.iter add_const fanins
+      | Circuit.Reg { next; _ } -> add_const next
+      | Circuit.Input | Circuit.Const _ -> ())
+    members;
+  let free = Bitset.copy t.inputs in
+  Sview.make circuit ~inside ~free ~roots

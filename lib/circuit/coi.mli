@@ -1,0 +1,23 @@
+(** Cone of influence.
+
+    The COI of a set of signals is everything that can affect them,
+    crossing registers: when the cone reaches a register output it
+    continues through that register's next-state input. The paper's
+    Table 1/2 report register and gate counts of property/coverage-set
+    COIs, and COI reduction is the preprocessing applied to the
+    baseline symbolic model checker. *)
+
+type t = {
+  regs : Bitset.t;  (** registers in the cone *)
+  gates : Bitset.t;  (** gates in the cone *)
+  inputs : Bitset.t;  (** primary inputs read by the cone *)
+}
+
+val compute : Circuit.t -> roots:int list -> t
+
+val num_regs : t -> int
+val num_gates : t -> int
+
+val restrict_view : Circuit.t -> t -> roots:int list -> Sview.t
+(** The COI-reduced design as a view: same behaviour as the original on
+    the cone, with everything outside dropped. *)

@@ -1,0 +1,46 @@
+type kind = And | Or | Nand | Nor | Xor | Xnor | Not | Buf | Mux
+
+let arity_ok kind n =
+  match kind with
+  | Not | Buf -> n = 1
+  | Mux -> n = 3
+  | And | Or | Nand | Nor | Xor | Xnor -> n >= 1
+
+let eval kind value fanins =
+  match kind with
+  | Not -> not (value fanins.(0))
+  | Buf -> value fanins.(0)
+  | Mux -> if value fanins.(0) then value fanins.(2) else value fanins.(1)
+  | And | Nand ->
+    let v = Array.for_all (fun s -> value s) fanins in
+    if kind = And then v else not v
+  | Or | Nor ->
+    let v = Array.exists (fun s -> value s) fanins in
+    if kind = Or then v else not v
+  | Xor | Xnor ->
+    let parity = Array.fold_left (fun p s -> p <> value s) false fanins in
+    if kind = Xor then parity else not parity
+
+let to_string = function
+  | And -> "AND"
+  | Or -> "OR"
+  | Nand -> "NAND"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Not -> "NOT"
+  | Buf -> "BUF"
+  | Mux -> "MUX"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "AND" -> Some And
+  | "OR" -> Some Or
+  | "NAND" -> Some Nand
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | "NOT" | "INV" -> Some Not
+  | "BUF" | "BUFF" -> Some Buf
+  | "MUX" -> Some Mux
+  | _ -> None

@@ -1,0 +1,28 @@
+(** Gate kinds and their Boolean semantics.
+
+    All kinds except [Not], [Buf] and [Mux] are n-ary (n >= 1).
+    [Mux] takes exactly three fanins [sel; d0; d1] and selects [d1]
+    when [sel] is true. *)
+
+type kind =
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Not
+  | Buf
+  | Mux
+
+val arity_ok : kind -> int -> bool
+(** Whether a gate of this kind may have the given number of fanins. *)
+
+val eval : kind -> (int -> bool) -> int array -> bool
+(** [eval kind value fanins] evaluates the gate given the values of its
+    fanin signals. *)
+
+val to_string : kind -> string
+
+val of_string : string -> kind option
+(** Inverse of {!to_string} (case-insensitive). *)

@@ -1,0 +1,32 @@
+(** Netlist clean-up: constant propagation and structural rewriting.
+
+    Gate-level designs arriving from synthesis or hand-written netlists
+    carry constants and redundancies that inflate every downstream
+    engine (cones, unrollings, transition relations). [simplify]
+    rewrites a design into an equivalent, usually smaller one:
+
+    - constants propagate through gates (an AND with a 0 fanin is 0, a
+      MUX with a constant select collapses, XOR drops 0 fanins...),
+    - duplicate fanins collapse where idempotence allows (AND/OR),
+    - single-fanin AND/OR/BUF chains dissolve,
+    - registers whose next-state input is their own output and whose
+      initial value is concrete become constants,
+    - gates driving nothing observable are dropped.
+
+    Observability is defined by the declared outputs plus all register
+    next-state functions of registers in their cone; names of surviving
+    signals are preserved. *)
+
+type report = {
+  gates_before : int;
+  gates_after : int;
+  registers_before : int;
+  registers_after : int;
+  constants_folded : int;
+}
+
+val simplify : Circuit.t -> Circuit.t * (int -> int option) * report
+(** [simplify c] returns the rewritten design, a map from old signal
+    identifiers to surviving new ones ([None] if the signal was swept
+    or folded into a constant), and statistics. Declared outputs are
+    always preserved (rewired to their simplified drivers). *)

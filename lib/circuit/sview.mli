@@ -1,0 +1,42 @@
+(** Subcircuit views.
+
+    Every engine in this system (symbolic model checking, ATPG,
+    3-valued simulation, min-cut extraction) runs either on the whole
+    design or on a subcircuit of it — an abstract model, a COI
+    reduction, a min-cut design. A view describes such a subcircuit
+    without re-indexing: signals keep their identifiers in the parent
+    circuit, and the view records which signals belong to the model and
+    which act as its free inputs.
+
+    A free input is either a primary input of the parent design or a
+    cut signal: a register output or internal signal whose driver was
+    abstracted away (a pseudo-input in the paper's terminology). *)
+
+type t = {
+  circuit : Circuit.t;
+  inside : Bitset.t;  (** signals belonging to the view *)
+  free : Bitset.t;  (** subset of [inside] acting as free inputs *)
+  regs : int array;  (** state-holding registers of the view, sorted *)
+  free_inputs : int array;  (** free inputs, sorted *)
+  roots : int list;  (** distinguished outputs (e.g. the bad signal) *)
+}
+
+val make :
+  Circuit.t -> inside:Bitset.t -> free:Bitset.t -> roots:int list -> t
+(** Checks well-formedness: free signals are inside; every non-free
+    signal inside is a constant, a register whose next-state input is
+    inside, or a gate whose fanins are all inside; roots are inside. *)
+
+val whole : Circuit.t -> roots:int list -> t
+(** The whole design as a view: free inputs are its primary inputs. *)
+
+val mem : t -> int -> bool
+val is_free : t -> int -> bool
+val num_regs : t -> int
+val num_gates : t -> int
+val num_free_inputs : t -> int
+
+val is_state : t -> int -> bool
+(** The signal is a register of the view (not abstracted away). *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+open Rfn_circuit
+module Atpg = Rfn_atpg.Atpg
+module Sim3v = Rfn_sim3v.Sim3v
+
+type outcome = Found of Trace.t | Exhausted | Gave_up of int
+
+let falsify ?(limits = Atpg.default_limits) circuit ~bad ~max_depth =
+  let view = Sview.whole circuit ~roots:[ bad ] in
+  let total = ref { Atpg.decisions = 0; backtracks = 0 } in
+  let add s =
+    total :=
+      {
+        Atpg.decisions = !total.Atpg.decisions + s.Atpg.decisions;
+        backtracks = !total.Atpg.backtracks + s.Atpg.backtracks;
+      }
+  in
+  let rec deepen depth =
+    if depth > max_depth then (Exhausted, !total)
+    else
+      let answer, stats =
+        Atpg.solve ~limits view ~frames:depth ~pins:[ (depth - 1, bad, true) ] ()
+      in
+      add stats;
+      match answer with
+      | Atpg.Sat t ->
+        if Sim3v.replay_concrete circuit t ~bad then (Found t, !total)
+        else (Gave_up depth, !total) (* engine bug guard *)
+      | Atpg.Unsat -> deepen (depth + 1)
+      | Atpg.Abort -> (Gave_up depth, !total)
+  in
+  deepen 1

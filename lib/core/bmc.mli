@@ -1,0 +1,25 @@
+(** Bounded falsification by plain sequential ATPG.
+
+    The paper builds on earlier work using ATPG alone as a model
+    checker (Boppana et al., CAV 1999 — its reference [3]); this module
+    provides that engine as a standalone baseline: iterative-deepening
+    sequential ATPG with the bad signal as the only objective, no
+    abstraction and no guidance. Useful for shallow bugs, hopeless for
+    deep ones — which is the comparison RFN's guided Step 3 wins. *)
+
+type outcome =
+  | Found of Rfn_circuit.Trace.t
+      (** validated counterexample (its length gives the depth) *)
+  | Exhausted
+      (** every depth up to the bound is proved free of violations *)
+  | Gave_up of int  (** resource limit at this depth *)
+
+val falsify :
+  ?limits:Rfn_atpg.Atpg.limits ->
+  Rfn_circuit.Circuit.t ->
+  bad:int ->
+  max_depth:int ->
+  outcome * Rfn_atpg.Atpg.stats
+(** Depths are tried in increasing order, so a [Found] trace is a
+    shortest counterexample (up to the per-depth resource limits).
+    Statistics are summed over all depths tried. *)

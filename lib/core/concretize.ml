@@ -1,0 +1,67 @@
+open Rfn_circuit
+module Atpg = Rfn_atpg.Atpg
+module Sim3v = Rfn_sim3v.Sim3v
+
+type outcome = Found of Trace.t | Not_found_here | Gave_up
+
+let trace_pins trace =
+  let pins = ref [] in
+  for j = 0 to Trace.length trace - 1 do
+    let add cube =
+      List.iter
+        (fun (s, v) -> pins := (j, s, v) :: !pins)
+        (Cube.to_list cube)
+    in
+    add (Trace.state trace j);
+    add (Trace.input trace j)
+  done;
+  !pins
+
+let run ~limits circuit ~bad ~frames ~pins =
+  let view = Sview.whole circuit ~roots:[ bad ] in
+  let pins = (frames - 1, bad, true) :: pins in
+  match Atpg.solve ~limits view ~frames ~pins () with
+  | Atpg.Sat t, stats ->
+    if Sim3v.replay_concrete circuit t ~bad then (Found t, stats)
+    else (Gave_up, stats) (* engine bug guard: never report unvalidated *)
+  | Atpg.Unsat, stats -> (Not_found_here, stats)
+  | Atpg.Abort, stats -> (Gave_up, stats)
+
+let guided ?(limits = Atpg.default_limits) circuit ~bad ~abstract_trace =
+  run ~limits circuit ~bad
+    ~frames:(Trace.length abstract_trace)
+    ~pins:(trace_pins abstract_trace)
+
+let guided_any ?(limits = Atpg.default_limits) circuit ~bad ~abstract_traces =
+  let sum a b =
+    {
+      Atpg.decisions = a.Atpg.decisions + b.Atpg.decisions;
+      backtracks = a.Atpg.backtracks + b.Atpg.backtracks;
+    }
+  in
+  let zero = { Atpg.decisions = 0; backtracks = 0 } in
+  let rec go acc all_unsat = function
+    | [] -> ((if all_unsat then Not_found_here else Gave_up), acc)
+    | t :: rest -> (
+      match guided ~limits circuit ~bad ~abstract_trace:t with
+      | Found trace, stats -> (Found trace, sum acc stats)
+      | Not_found_here, stats -> go (sum acc stats) all_unsat rest
+      | Gave_up, stats -> go (sum acc stats) false rest)
+  in
+  if abstract_traces = [] then
+    invalid_arg "Concretize.guided_any: no abstract traces"
+  else go zero true abstract_traces
+
+let guided_to_trace ?(limits = Atpg.default_limits) circuit ~abstract_trace =
+  let view = Sview.whole circuit ~roots:[] in
+  match
+    Atpg.solve ~limits view
+      ~frames:(Trace.length abstract_trace)
+      ~pins:(trace_pins abstract_trace) ()
+  with
+  | Atpg.Sat t, stats -> (Found t, stats)
+  | Atpg.Unsat, stats -> (Not_found_here, stats)
+  | Atpg.Abort, stats -> (Gave_up, stats)
+
+let unguided ?(limits = Atpg.default_limits) circuit ~bad ~depth =
+  run ~limits circuit ~bad ~frames:depth ~pins:[]

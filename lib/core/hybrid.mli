@@ -1,0 +1,54 @@
+(** BDD–ATPG hybrid error-trace extraction on the abstract model
+    (Section 2.2).
+
+    When the forward fixpoint touches the target states at ring k, a
+    trace is pulled back ring by ring. Pre-image is computed not on
+    the abstract model N (whose thousands of free inputs would sink
+    BDD pre-image) but on its min-cut design MC; the resulting cubes
+    mention the cut signals. A cube whose non-state literals are all
+    free inputs of N is a *no-cut cube* and extends the trace directly;
+    otherwise it is a *min-cut cube* and combinational ATPG finds a
+    consistent no-cut cube on N. Cube containment in the ring
+    conjunction guarantees any ATPG completion stays inside the ring,
+    so the walk never leaves the reachable onion. *)
+
+type result = {
+  trace : Rfn_circuit.Trace.t;
+      (** abstract error trace: k+1 state cubes over N's registers and
+          k+1 input cubes over N's free inputs (the last is the
+          final-cycle witness for the bad signal) *)
+  cut_size : int;  (** primary inputs of the min-cut design *)
+  model_inputs : int;  (** free inputs of the abstract model *)
+  no_cut_steps : int;  (** pre-image steps solved without ATPG *)
+  min_cut_steps : int;  (** steps needing ATPG cube extension *)
+}
+
+val extract :
+  ?atpg_limits:Rfn_atpg.Atpg.limits ->
+  ?max_cube_tries:int ->
+  Rfn_mc.Varmap.t ->
+  rings:Rfn_bdd.Bdd.t array ->
+  target:Rfn_bdd.Bdd.t ->
+  k:int ->
+  result
+(** [extract vm ~rings ~target ~k] requires ring [k] to intersect
+    [target], a predicate over the view's current-state and input
+    variables (for an unreachability property: the bad signal's
+    function; for coverage analysis: the unknown coverage states).
+    Raises [Failure] if no cube can be extended within
+    [max_cube_tries] ATPG attempts per step (default 64), and may
+    propagate [Rfn_bdd.Bdd.Limit_exceeded]. *)
+
+val extract_multi :
+  ?atpg_limits:Rfn_atpg.Atpg.limits ->
+  ?max_cube_tries:int ->
+  count:int ->
+  Rfn_mc.Varmap.t ->
+  rings:Rfn_bdd.Bdd.t array ->
+  target:Rfn_bdd.Bdd.t ->
+  k:int ->
+  result list
+(** Up to [count] abstract error traces with pairwise-distinct final
+    cubes, fattest first — the paper's future-work proposal of guiding
+    the concrete search with a *set* of traces instead of one. Always
+    returns at least one result (or raises as {!extract} does). *)

@@ -1,0 +1,138 @@
+open Rfn_circuit
+module Atpg = Rfn_atpg.Atpg
+module Sim3v = Rfn_sim3v.Sim3v
+
+type result = { candidates : int list; kept : int list; invalidated : bool }
+
+(* Phase 1: 3-valued replay of the abstract trace on the original
+   design. Trace values are forced back into the state after each
+   step ("the value from the error trace will be used for the next
+   step"); disagreeing registers outside the model are candidates. *)
+let simulation_candidates abstraction ~abstract_trace =
+  let c = abstraction.Abstraction.circuit in
+  let view = Sview.whole c ~roots:[] in
+  let k = Trace.length abstract_trace in
+  let trace_value j s =
+    match Cube.value (Trace.state abstract_trace j) s with
+    | Some _ as v -> v
+    | None -> Cube.value (Trace.input abstract_trace j) s
+  in
+  let in_model r = Rfn_circuit.Bitset.mem abstraction.Abstraction.regs r in
+  let candidates = ref [] in
+  let seen = Hashtbl.create 17 in
+  let record r =
+    if (not (Hashtbl.mem seen r)) && not (in_model r) then begin
+      Hashtbl.add seen r ();
+      candidates := r :: !candidates
+    end
+  in
+  let state_of j fallback r =
+    match trace_value j r with
+    | Some b -> Sim3v.of_bool b
+    | None -> fallback r
+  in
+  let state = ref (state_of 0 (fun _ -> Sim3v.VX)) in
+  for j = 0 to k - 2 do
+    let free s =
+      if Circuit.is_input c s then
+        match Cube.value (Trace.input abstract_trace j) s with
+        | Some b -> Sim3v.of_bool b
+        | None -> Sim3v.VX
+      else Sim3v.VX
+    in
+    let _, next = Sim3v.step view ~free ~state:!state in
+    (* Compare the simulated next state against cycle j+1 of the trace. *)
+    Array.iter
+      (fun r ->
+        match trace_value (j + 1) r with
+        | Some b -> if Sim3v.conflicts (next r) (Sim3v.of_bool b) then record r
+        | None -> ())
+      c.Circuit.registers;
+    state := state_of (j + 1) next
+  done;
+  List.rev !candidates
+
+(* Fallback when nothing conflicts: pseudo-inputs mentioned most often
+   in the trace. *)
+let frequency_candidates abstraction ~abstract_trace ~max_fallback =
+  let counts = Hashtbl.create 97 in
+  let k = Trace.length abstract_trace in
+  for j = 0 to k - 1 do
+    List.iter
+      (fun (s, _) ->
+        if Abstraction.is_pseudo_input abstraction s then
+          Hashtbl.replace counts s
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts s)))
+      (Cube.to_list (Trace.input abstract_trace j))
+  done;
+  Hashtbl.fold (fun s n acc -> (s, n) :: acc) counts []
+  |> List.sort (fun (s1, n1) (s2, n2) ->
+         if n1 <> n2 then compare n2 n1 else compare s1 s2)
+  |> List.filteri (fun i _ -> i < max_fallback)
+  |> List.map fst
+
+(* Is the abstract error trace still satisfiable on a refined model?
+   Pins: every trace literal that falls inside the model (the solver
+   sorts out free vs derived), plus the bad objective at the end. *)
+let trace_satisfiable ~atpg_limits abstraction ~abstract_trace ~bad =
+  let view = abstraction.Abstraction.view in
+  let k = Trace.length abstract_trace in
+  let pins =
+    ref (match bad with Some b -> [ (k - 1, b, true) ] | None -> [])
+  in
+  for j = 0 to k - 1 do
+    let add cube =
+      List.iter
+        (fun (s, v) -> if Sview.mem view s then pins := (j, s, v) :: !pins)
+        (Cube.to_list cube)
+    in
+    add (Trace.state abstract_trace j);
+    add (Trace.input abstract_trace j)
+  done;
+  match Atpg.solve ~limits:atpg_limits view ~frames:k ~pins:!pins () with
+  | Atpg.Sat _, _ -> `Sat
+  | Atpg.Unsat, _ -> `Unsat
+  | Atpg.Abort, _ -> `Abort
+
+let crucial_registers ?(atpg_limits = Atpg.default_limits) ?(max_fallback = 8)
+    ?bad abstraction ~abstract_trace () =
+  let candidates =
+    match simulation_candidates abstraction ~abstract_trace with
+    | [] -> frequency_candidates abstraction ~abstract_trace ~max_fallback
+    | cs -> cs
+  in
+  let check added =
+    trace_satisfiable ~atpg_limits
+      (Abstraction.refine abstraction ~add:added)
+      ~abstract_trace ~bad
+  in
+  (* Phase 2a: add candidates until the trace is refuted. *)
+  let rec grow added = function
+    | [] -> (List.rev added, false, false)
+    | c :: rest -> (
+      let added = c :: added in
+      match check (List.rev added) with
+      | `Unsat -> (List.rev added, true, false)
+      | `Sat -> grow added rest
+      | `Abort -> (candidates, false, true))
+  in
+  let kept, invalidated, aborted = grow [] candidates in
+  (* Phase 2b: try removing earlier additions (never the last, which
+     tipped the model into refuting the trace). *)
+  let kept =
+    if (not invalidated) || aborted || List.length kept < 2 then kept
+    else begin
+      let last = List.nth kept (List.length kept - 1) in
+      let rec shrink confirmed = function
+        | [] -> List.rev confirmed
+        | d :: rest when d = last && rest = [] -> List.rev (d :: confirmed)
+        | d :: rest -> (
+          let trial = List.rev_append confirmed rest in
+          match check trial with
+          | `Unsat -> shrink confirmed rest
+          | `Sat | `Abort -> shrink (d :: confirmed) rest)
+      in
+      shrink [] kept
+    end
+  in
+  { candidates; kept; invalidated }

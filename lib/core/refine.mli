@@ -1,0 +1,37 @@
+(** Two-phase crucial-register identification (Section 2.4).
+
+    Phase 1 replays the abstract error trace on the original design
+    with 3-valued simulation: signals the trace does not pin are X,
+    trace values are forced back after each step, and every
+    pseudo-input register whose simulated value concretely disagrees
+    with the trace becomes a crucial-register candidate. If nothing
+    conflicts (rare), the pseudo-inputs mentioned most often in the
+    trace are taken instead.
+
+    Phase 2 greedily minimizes the candidate list with sequential
+    ATPG: candidates are added one at a time to the abstract model
+    until the error trace becomes unsatisfiable on it, the unused tail
+    is dropped, and a removal pass then tries to discard each earlier
+    addition (keeping the model trace-refuting throughout). If ATPG
+    cannot give a definitive answer within its limits, all candidates
+    are kept, as in the paper. *)
+
+type result = {
+  candidates : int list;  (** phase-1 candidate registers, in order *)
+  kept : int list;  (** registers actually added to the model *)
+  invalidated : bool;
+      (** the refined model provably refutes the abstract trace *)
+}
+
+val crucial_registers :
+  ?atpg_limits:Rfn_atpg.Atpg.limits ->
+  ?max_fallback:int ->
+  ?bad:int ->
+  Rfn_circuit.Abstraction.t ->
+  abstract_trace:Rfn_circuit.Trace.t ->
+  unit ->
+  result
+(** [max_fallback] (default 8) bounds how many most-frequent
+    pseudo-inputs are taken when simulation finds no conflict.
+    [result.kept] is empty only if the abstract model has no
+    pseudo-inputs left to add. *)

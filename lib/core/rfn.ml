@@ -1,0 +1,217 @@
+open Rfn_circuit
+module Bdd = Rfn_bdd.Bdd
+module Varmap = Rfn_mc.Varmap
+module Symbolic = Rfn_mc.Symbolic
+module Image = Rfn_mc.Image
+module Reach = Rfn_mc.Reach
+module Atpg = Rfn_atpg.Atpg
+
+let src = Logs.Src.create "rfn" ~doc:"RFN abstraction refinement"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  max_iterations : int;
+  node_limit : int;
+  mc_max_steps : int;
+  max_seconds : float option;
+  abstract_atpg : Atpg.limits;
+  concrete_atpg : Atpg.limits;
+  guidance_traces : int;
+}
+
+let default_config =
+  {
+    max_iterations = 64;
+    node_limit = 2_000_000;
+    mc_max_steps = 2_000;
+    max_seconds = None;
+    abstract_atpg = { Atpg.max_backtracks = 50_000; max_seconds = Some 20.0 };
+    concrete_atpg = { Atpg.max_backtracks = 200_000; max_seconds = Some 60.0 };
+    guidance_traces = 1;
+  }
+
+type iteration = {
+  abstract_regs : int;
+  model_inputs : int;
+  cut_size : int option;
+  no_cut_steps : int;
+  min_cut_steps : int;
+  fixpoint_steps : int;
+  trace_length : int option;
+  candidates : int;
+  added : int;
+}
+
+type stats = {
+  iterations : iteration list;
+  coi_regs : int;
+  coi_gates : int;
+  final_abstract_regs : int;
+  last_abstract_trace : Trace.t option;
+  seconds : float;
+}
+
+type outcome = Proved | Falsified of Trace.t | Aborted of string
+
+let verify ?(config = default_config) circuit prop =
+  let started = Sys.time () in
+  let bad = prop.Property.bad in
+  let coi = Coi.compute circuit ~roots:(Property.roots prop) in
+  let iterations = ref [] in
+  let last_trace = ref None in
+  let finish abstraction outcome =
+    ( outcome,
+      {
+        iterations = List.rev !iterations;
+        coi_regs = Coi.num_regs coi;
+        coi_gates = Coi.num_gates coi;
+        final_abstract_regs = Abstraction.num_regs abstraction;
+        last_abstract_trace = !last_trace;
+        seconds = Sys.time () -. started;
+      } )
+  in
+  let time_left () =
+    match config.max_seconds with
+    | None -> None
+    | Some budget -> Some (budget -. (Sys.time () -. started))
+  in
+  let out_of_time () =
+    match time_left () with Some r -> r <= 0.0 | None -> false
+  in
+  let rec iterate ?previous abstraction iter =
+    if iter > config.max_iterations then
+      finish abstraction (Aborted "iteration limit")
+    else if out_of_time () then finish abstraction (Aborted "time limit")
+    else begin
+      let view = abstraction.Abstraction.view in
+      Log.info (fun m ->
+          m "iteration %d: abstract model %a" iter Sview.pp_stats view);
+      let record ?cut_size ?(no_cut = 0) ?(min_cut = 0) ?trace_length
+          ?(candidates = 0) ?(added = 0) steps =
+        iterations :=
+          {
+            abstract_regs = Abstraction.num_regs abstraction;
+            model_inputs = Sview.num_free_inputs view;
+            cut_size;
+            no_cut_steps = no_cut;
+            min_cut_steps = min_cut;
+            fixpoint_steps = steps;
+            trace_length;
+            candidates;
+            added;
+          }
+          :: !iterations
+      in
+      (* Step 2: prove or find an abstract error trace. *)
+      match
+        let vm = Varmap.make ~node_limit:config.node_limit ?previous view in
+        let fn = Symbolic.functions vm in
+        let img = Image.make vm in
+        let init = Symbolic.initial_states vm in
+        let bad_states = Reach.bad_predicate vm ~fn ~bad in
+        let res =
+          Reach.run ~max_steps:config.mc_max_steps ?max_seconds:(time_left ())
+            img ~vm ~init ~bad_states
+        in
+        (vm, fn, res)
+      with
+      | exception Bdd.Limit_exceeded ->
+        record 0;
+        finish abstraction (Aborted "BDD node limit while building model")
+      | vm, fn, res -> (
+        match res.Reach.outcome with
+        | Reach.Proved ->
+          record res.Reach.steps;
+          Log.info (fun m -> m "property proved on the abstract model");
+          finish abstraction Proved
+        | Reach.Closed _ ->
+          (* not produced when stop_at_bad is true (the default) *)
+          assert false
+        | Reach.Aborted why ->
+          record res.Reach.steps;
+          finish abstraction (Aborted ("fixpoint: " ^ why))
+        | Reach.Reached k -> (
+          match
+            Hybrid.extract_multi ~atpg_limits:config.abstract_atpg
+              ~count:(max 1 config.guidance_traces) vm ~rings:res.Reach.rings
+              ~target:(fn bad) ~k
+          with
+          | exception (Failure _ as e) ->
+            record res.Reach.steps;
+            finish abstraction (Aborted (Printexc.to_string e))
+          | exception Bdd.Limit_exceeded ->
+            record res.Reach.steps;
+            finish abstraction (Aborted "BDD node limit in hybrid engine")
+          | [] -> assert false (* extract_multi returns at least one *)
+          | (hybrid :: _ as hybrids) -> (
+            let abstract_trace = hybrid.Hybrid.trace in
+            last_trace := Some abstract_trace;
+            Log.info (fun m ->
+                m "%d abstract error trace(s) of length %d (cut %d of %d inputs)"
+                  (List.length hybrids)
+                  (Trace.length abstract_trace)
+                  hybrid.Hybrid.cut_size hybrid.Hybrid.model_inputs);
+            (* Step 3: search on the original design. *)
+            let concrete, _ =
+              Concretize.guided_any ~limits:config.concrete_atpg circuit ~bad
+                ~abstract_traces:(List.map (fun h -> h.Hybrid.trace) hybrids)
+            in
+            match concrete with
+            | Concretize.Found t ->
+              record ~cut_size:hybrid.Hybrid.cut_size
+                ~no_cut:hybrid.Hybrid.no_cut_steps
+                ~min_cut:hybrid.Hybrid.min_cut_steps
+                ~trace_length:(Trace.length abstract_trace) res.Reach.steps;
+              Log.info (fun m -> m "concrete counterexample found");
+              finish abstraction (Falsified t)
+            | Concretize.Not_found_here | Concretize.Gave_up ->
+              (* Step 4: refine. *)
+              let r =
+                Refine.crucial_registers ~atpg_limits:config.abstract_atpg ~bad
+                  abstraction ~abstract_trace ()
+              in
+              record ~cut_size:hybrid.Hybrid.cut_size
+                ~no_cut:hybrid.Hybrid.no_cut_steps
+                ~min_cut:hybrid.Hybrid.min_cut_steps
+                ~trace_length:(Trace.length abstract_trace)
+                ~candidates:(List.length r.Refine.candidates)
+                ~added:(List.length r.Refine.kept) res.Reach.steps;
+              if r.Refine.kept = [] then
+                finish abstraction (Aborted "no crucial registers to add")
+              else begin
+                Log.info (fun m ->
+                    m "refining with %d of %d candidate registers"
+                      (List.length r.Refine.kept)
+                      (List.length r.Refine.candidates));
+                iterate ~previous:vm
+                  (Abstraction.refine abstraction ~add:r.Refine.kept)
+                  (iter + 1)
+              end)))
+    end
+  in
+  iterate (Abstraction.initial circuit ~roots:(Property.roots prop)) 1
+
+let check_coi_model_checking ?(node_limit = 2_000_000) ?(max_steps = 10_000)
+    ?max_seconds circuit prop =
+  let started = Sys.time () in
+  let bad = prop.Property.bad in
+  let coi = Coi.compute circuit ~roots:(Property.roots prop) in
+  let view = Coi.restrict_view circuit coi ~roots:(Property.roots prop) in
+  let result =
+    match
+      let vm = Varmap.make ~node_limit view in
+      let fn = Symbolic.functions vm in
+      let img = Image.make vm in
+      let init = Symbolic.initial_states vm in
+      let bad_states = Reach.bad_predicate vm ~fn ~bad in
+      Reach.run ~max_steps ?max_seconds img ~vm ~init ~bad_states
+    with
+    | exception Bdd.Limit_exceeded -> `Aborted "BDD node limit"
+    | res -> (
+      match res.Reach.outcome with
+      | Reach.Proved -> `Proved
+      | Reach.Reached k | Reach.Closed k -> `Reached k
+      | Reach.Aborted why -> `Aborted why)
+  in
+  (result, Sys.time () -. started)

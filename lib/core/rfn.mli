@@ -1,0 +1,78 @@
+(** RFN: the abstraction-refinement property verifier (Section 2).
+
+    The four-step loop of the paper:
+
+    + generate the abstract model (a subcircuit; {!Rfn_circuit.Abstraction}),
+    + prove the property or find an abstract error trace
+      (BDD fixpoint {!Rfn_mc.Reach} + BDD–ATPG hybrid {!Hybrid}),
+    + search for a concrete error trace on the original design
+      (guided sequential ATPG, {!Concretize}),
+    + refine with crucial registers
+      (3-valued simulation + greedy ATPG minimization, {!Refine}),
+
+    repeated until the property is proved on an abstract model (then it
+    holds for the design), a concrete counterexample is found, or a
+    resource limit is exceeded. Symbolic image computation is never
+    performed on the original design. *)
+
+type config = {
+  max_iterations : int;
+  node_limit : int;  (** BDD node budget per iteration *)
+  mc_max_steps : int;  (** fixpoint step bound *)
+  max_seconds : float option;  (** overall CPU budget *)
+  abstract_atpg : Rfn_atpg.Atpg.limits;
+      (** budget for hybrid cube extension and refinement checks *)
+  concrete_atpg : Rfn_atpg.Atpg.limits;
+      (** budget for the guided search on the original design *)
+  guidance_traces : int;
+      (** how many abstract error traces to extract and try as guidance
+          for the concrete search (default 1; values above 1 implement
+          the paper's future-work multi-trace guidance) *)
+}
+
+val default_config : config
+
+type iteration = {
+  abstract_regs : int;  (** registers in this iteration's model *)
+  model_inputs : int;  (** free inputs of the model *)
+  cut_size : int option;  (** min-cut inputs, when the hybrid ran *)
+  no_cut_steps : int;  (** hybrid pre-image steps needing no ATPG *)
+  min_cut_steps : int;  (** hybrid steps needing ATPG cube extension *)
+  fixpoint_steps : int;
+  trace_length : int option;  (** abstract trace length, if any *)
+  candidates : int;  (** phase-1 candidates, when refining *)
+  added : int;  (** registers actually added, when refining *)
+}
+
+type stats = {
+  iterations : iteration list;  (** chronological *)
+  coi_regs : int;
+  coi_gates : int;
+  final_abstract_regs : int;
+  last_abstract_trace : Rfn_circuit.Trace.t option;
+      (** the abstract error trace of the last iteration that produced
+          one — what guided the final concretization (for ablations) *)
+  seconds : float;
+}
+
+type outcome =
+  | Proved
+  | Falsified of Rfn_circuit.Trace.t  (** validated concrete trace *)
+  | Aborted of string
+
+val verify :
+  ?config:config ->
+  Rfn_circuit.Circuit.t ->
+  Rfn_circuit.Property.t ->
+  outcome * stats
+
+val check_coi_model_checking :
+  ?node_limit:int ->
+  ?max_steps:int ->
+  ?max_seconds:float ->
+  Rfn_circuit.Circuit.t ->
+  Rfn_circuit.Property.t ->
+  [ `Proved | `Reached of int | `Aborted of string ] * float
+(** The baseline the paper compares against: plain symbolic model
+    checking of the property on the COI-reduced design (no
+    abstraction). Returns the outcome and the CPU seconds spent. *)

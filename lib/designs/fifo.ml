@@ -1,0 +1,120 @@
+open Rfn_circuit
+module B = Circuit.Builder
+
+type params = { depth_log2 : int; data_width : int; almost_full_slack : int }
+
+let default = { depth_log2 = 4; data_width = 6; almost_full_slack = 2 }
+let small = { depth_log2 = 2; data_width = 2; almost_full_slack = 1 }
+
+type t = {
+  circuit : Circuit.t;
+  psh_hf : Property.t;
+  psh_af : Property.t;
+  psh_full : Property.t;
+}
+
+let make ?(params = default) () =
+  let { depth_log2; data_width; almost_full_slack } = params in
+  let depth = 1 lsl depth_log2 in
+  let cnt_w = depth_log2 + 1 in
+  let b = B.create () in
+  let push = B.input b "push" and pop = B.input b "pop" in
+  let din = Rtl.input b "din" data_width in
+
+  (* Pointers, occupancy counter and registered status flags. *)
+  let head = Rtl.regs b "head" depth_log2 in
+  let tail = Rtl.regs b "tail" depth_log2 in
+  let count = Rtl.regs b "count" cnt_w in
+  let full_now = Rtl.eq_const b count depth in
+  let empty_now = Rtl.is_zero b count in
+  let accept_push = B.and2 b push (B.not_ b full_now) in
+  let accept_pop = B.and2 b pop (B.not_ b empty_now) in
+  let count' =
+    let inc = B.and2 b accept_push (B.not_ b accept_pop) in
+    let dec = B.and2 b accept_pop (B.not_ b accept_push) in
+    Rtl.mux b dec (Rtl.mux b inc count (Rtl.incr b count)) (Rtl.decr b count)
+  in
+  Rtl.connect b count count';
+  Rtl.connect b head (Rtl.mux b accept_pop head (Rtl.incr b head));
+  Rtl.connect b tail (Rtl.mux b accept_push tail (Rtl.incr b tail));
+  let hf_flag = B.reg_of b "hf_flag" (Rtl.ge_const b count' (depth / 2)) in
+  let af_flag =
+    B.reg_of b "af_flag" (Rtl.ge_const b count' (depth - almost_full_slack))
+  in
+  let full_flag = B.reg_of b "full_flag" (Rtl.eq_const b count' depth) in
+  let empty_flag = B.reg_of b "empty_flag" (Rtl.is_zero b count') in
+  ignore empty_flag;
+
+  (* Storage: per-entry valid bit and data word, plus an integrity
+     tracker whose cone covers the whole store — this is what drags
+     all 135 registers into the properties' COI while any proof only
+     needs the counter and flag logic. *)
+  let entry_sel ptr i = Rtl.eq_const b ptr i in
+  let valid = Array.init depth (fun i -> B.reg b (Printf.sprintf "valid_%d" i)) in
+  let data =
+    Array.init depth (fun i -> Rtl.regs b (Printf.sprintf "data_%d" i) data_width)
+  in
+  let head_parity = ref (B.const b false) in
+  for i = 0 to depth - 1 do
+    let wr = B.and2 b accept_push (entry_sel tail i) in
+    let rd = B.and2 b accept_pop (entry_sel head i) in
+    B.connect b valid.(i)
+      (B.or2 b wr (B.and2 b valid.(i) (B.not_ b rd)));
+    Rtl.connect b data.(i) (Rtl.mux b wr data.(i) din);
+    let parity_i = B.gate b Gate.Xor (Array.copy data.(i)) in
+    head_parity :=
+      B.or2 b !head_parity (B.and2 b rd parity_i)
+  done;
+  let din_parity = B.gate b Gate.Xor (Array.copy din) in
+  let track = B.reg b "track" in
+  B.connect b track
+    (B.xor2 b track
+       (B.xor2 b
+          (B.and2 b accept_push din_parity)
+          !head_parity));
+  let recomputed =
+    B.gate b Gate.Xor
+      (Array.init depth (fun i ->
+           B.and2 b valid.(i) (B.gate b Gate.Xor (Array.copy data.(i)))))
+  in
+  let scrub = Rtl.counter b ~name:"scrub" ~width:4 ~enable:(B.const b true) () in
+  let age = Rtl.counter b ~name:"age" ~width:3 ~enable:accept_push () in
+  let corrupt =
+    B.or_l b
+      [
+        B.xor2 b track recomputed;
+        B.and2 b (Rtl.eq_const b scrub 15) (B.and2 b track recomputed);
+        B.and2 b (Rtl.eq_const b age 7) (B.and2 b track (B.not_ b recomputed));
+      ]
+  in
+  let healthy = B.not_ b corrupt in
+
+  (* Watchdogs: each property is an unreachability claim on a
+     registered watchdog output, as in the paper. *)
+  let watchdog name violation =
+    let wd = B.reg_of b name (B.and2 b violation healthy) in
+    B.output b name wd;
+    wd
+  in
+  let _ =
+    watchdog "psh_hf"
+      (B.and_l b
+         [ accept_push; Rtl.ge_const b count (depth / 2); B.not_ b hf_flag ])
+  in
+  let _ =
+    watchdog "psh_af"
+      (B.and_l b
+         [
+           accept_push;
+           Rtl.ge_const b count (depth - almost_full_slack);
+           B.not_ b af_flag;
+         ])
+  in
+  let _ = watchdog "psh_full" (B.and_l b [ push; full_flag; accept_push ]) in
+  let circuit = B.finalize b in
+  {
+    circuit;
+    psh_hf = Property.of_output circuit "psh_hf";
+    psh_af = Property.of_output circuit "psh_af";
+    psh_full = Property.of_output circuit "psh_full";
+  }

@@ -1,0 +1,37 @@
+(** Synthetic stand-in for the paper's FIFO controller design
+    (Table 1: properties psh_hf, psh_af, psh_full; 135 registers in
+    the COI).
+
+    A FIFO with head/tail pointers, an occupancy counter, registered
+    half-full / almost-full / full flags, a per-entry valid vector and
+    a data store. The data store and valid bits are pulled into the
+    properties' cone of influence through an integrity checker that
+    gates the watchdogs — giving the paper's profile of a COI much
+    larger than the registers any proof needs.
+
+    Properties (all True for the default parameters):
+    - [psh_hf]: an accepted push that fills the FIFO to at least the
+      half-full mark must find the half-full flag already consistent,
+    - [psh_af]: likewise for the almost-full flag,
+    - [psh_full]: a push is never accepted when the FIFO is full. *)
+
+type params = {
+  depth_log2 : int;  (** entries = 2^depth_log2 *)
+  data_width : int;
+  almost_full_slack : int;  (** full - slack = almost-full threshold *)
+}
+
+val default : params
+(** [depth_log2 = 4], [data_width = 6], sized to 135 registers. *)
+
+val small : params
+(** A brute-forceable instance for tests. *)
+
+type t = {
+  circuit : Rfn_circuit.Circuit.t;
+  psh_hf : Rfn_circuit.Property.t;
+  psh_af : Rfn_circuit.Property.t;
+  psh_full : Rfn_circuit.Property.t;
+}
+
+val make : ?params:params -> unit -> t

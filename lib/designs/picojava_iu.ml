@@ -1,0 +1,164 @@
+open Rfn_circuit
+module B = Circuit.Builder
+
+type params = { sc_entries : int; sc_width : int; operand_latches : int }
+
+let default = { sc_entries = 128; sc_width = 16; operand_latches = 16 }
+let small = { sc_entries = 4; sc_width = 2; operand_latches = 2 }
+
+type t = { circuit : Circuit.t; coverage_sets : (string * int list) list }
+
+(* One-hot FSM helper: a register per state, transition function given
+   as, per state, the condition re-entering it. *)
+let one_hot_fsm b ~name ~states ~next =
+  let regs =
+    List.mapi
+      (fun i st ->
+        B.reg b ~init:(if i = 0 then `One else `Zero)
+          (Printf.sprintf "%s_%s" name st))
+      states
+  in
+  let arr = Array.of_list regs in
+  List.iteri (fun i r -> B.connect b r (next arr i)) regs;
+  arr
+
+let make ?(params = default) () =
+  let p = params in
+  let b = B.create () in
+  let instr_valid = B.input b "instr_valid" in
+  let op = Rtl.input b "op" 4 in
+  let mem_ready = B.input b "mem_ready" in
+  let trap_req = B.input b "trap_req" in
+  let din = Rtl.input b "din" p.sc_width in
+
+  (* Decoded instruction class latches. *)
+  let is_load = B.reg_of b "is_load" (B.and2 b instr_valid (Rtl.eq_const b op 1)) in
+  let is_store = B.reg_of b "is_store" (B.and2 b instr_valid (Rtl.eq_const b op 2)) in
+  let is_branch = B.reg_of b "is_branch" (B.and2 b instr_valid (Rtl.eq_const b op 3)) in
+  let is_trap = B.reg_of b "is_trap" (B.and2 b instr_valid (Rtl.eq_const b op 4)) in
+
+  (* Stack cache occupancy and watermarks. *)
+  let rec lg n = if n <= 1 then 0 else 1 + lg (n / 2) in
+  let cnt_w = lg p.sc_entries + 1 in
+  let sc_count = Rtl.regs b "sc_count" cnt_w in
+  let low_mark = B.reg_of b "sc_low" (Rtl.lt b sc_count (Rtl.const b ~width:cnt_w (p.sc_entries / 4))) in
+  let high_mark = B.reg_of b "sc_high" (Rtl.ge_const b sc_count (3 * p.sc_entries / 4)) in
+
+  (* Dribbler FSM: idle / spill / fill / wait (one-hot). *)
+  let dribble =
+    one_hot_fsm b ~name:"drib" ~states:[ "idle"; "spill"; "fill"; "wait" ]
+      ~next:(fun s i ->
+        let idle = s.(0) and spill = s.(1) and fill = s.(2) and wait = s.(3) in
+        match i with
+        | 0 ->
+          B.or2 b
+            (B.and_l b [ idle; B.not_ b high_mark; B.not_ b low_mark ])
+            (B.and2 b wait mem_ready)
+        | 1 -> B.or2 b (B.and2 b idle high_mark) (B.and2 b spill (B.not_ b mem_ready))
+        | 2 -> B.or2 b (B.and2 b idle low_mark) (B.and2 b fill (B.not_ b mem_ready))
+        | _ ->
+          B.or2 b
+            (B.and2 b spill mem_ready)
+            (B.and2 b fill mem_ready))
+  in
+  let dribbling = B.or2 b dribble.(1) dribble.(2) in
+
+  (* Trap FSM: none / pending / flush (one-hot). The performance trap
+     register (connected below, once the stack-cache datapath exists)
+     is one of the trap causes — this ties the datapath into the
+     control core and makes all coverage-set COIs coincide. *)
+  let perf_trap = B.reg b "perf_trap" in
+  let trap_cause = B.or_l b [ trap_req; is_trap; perf_trap ] in
+  let trap =
+    one_hot_fsm b ~name:"trap" ~states:[ "none"; "pend"; "flush" ]
+      ~next:(fun s i ->
+        let none = s.(0) and pend = s.(1) and fl = s.(2) in
+        match i with
+        | 0 -> B.or2 b (B.and2 b none (B.not_ b trap_cause)) fl
+        | 1 ->
+          B.or2 b (B.and2 b none trap_cause)
+            (B.and2 b pend (B.not_ b mem_ready))
+        | _ -> B.and2 b pend mem_ready)
+  in
+  let flushing = trap.(2) in
+
+  (* Hazard / forwarding bits. *)
+  let hazard_ld = B.reg_of b "haz_load" (B.and2 b is_load is_store) in
+  let hazard_br = B.reg_of b "haz_branch" (B.and2 b is_branch instr_valid) in
+  let fwd_a = B.reg_of b "fwd_a" (B.and2 b is_load (B.not_ b is_store)) in
+  let fwd_b = B.reg_of b "fwd_b" (B.and2 b is_store (B.not_ b is_load)) in
+
+  let stall =
+    B.or2 b (B.or2 b dribbling hazard_ld)
+      (B.or2 b (B.and2 b hazard_br (B.not_ b mem_ready)) trap.(1))
+  in
+
+  (* Six-stage valid chain, flushed on traps. *)
+  let advance = B.not_ b stall in
+  let stage names first =
+    let rec build prev = function
+      | [] -> []
+      | n :: rest ->
+        let v = B.reg b n in
+        B.connect b v
+          (B.and2 b (B.not_ b flushing) (B.mux b advance v prev));
+        v :: build v rest
+    in
+    build first names
+  in
+  let valids = stage [ "v_f"; "v_d"; "v_r"; "v_e"; "v_c"; "v_w" ] instr_valid in
+  let v_arr = Array.of_list valids in
+  let commit = B.and2 b v_arr.(5) advance in
+
+  (* Stack cache datapath: pointer, entry store, operand latches. *)
+  let sc_ptr = Rtl.regs b "sc_ptr" (max 1 (lg p.sc_entries)) in
+  let push = B.and2 b commit fwd_a and pop = B.and2 b commit fwd_b in
+  Rtl.connect b sc_ptr
+    (Rtl.mux b push
+       (Rtl.mux b pop sc_ptr (Rtl.decr b sc_ptr))
+       (Rtl.incr b sc_ptr));
+  Rtl.connect b sc_count
+    (Rtl.mux b (B.and2 b push (B.not_ b pop))
+       (Rtl.mux b (B.and2 b pop (B.not_ b push)) sc_count (Rtl.decr b sc_count))
+       (Rtl.incr b sc_count));
+  let entries =
+    Array.init p.sc_entries (fun i ->
+        let w = Rtl.regs b (Printf.sprintf "sc_%d" i) p.sc_width in
+        let sel = B.and2 b push (Rtl.eq_const b sc_ptr i) in
+        Rtl.connect b w (Rtl.mux b sel w din);
+        w)
+  in
+  let latches =
+    Array.init p.operand_latches (fun i ->
+        let w = Rtl.regs b (Printf.sprintf "opnd_%d" i) p.sc_width in
+        let src = entries.(i mod p.sc_entries) in
+        Rtl.connect b w (Rtl.mux b commit w src);
+        w)
+  in
+  (* Tie the datapath back into the control core: a parity check feeds
+     a performance trap, keeping everything in one COI. *)
+  let dp_parity =
+    B.gate b Gate.Xor
+      (Array.concat (Array.to_list entries @ Array.to_list latches))
+  in
+  B.connect b perf_trap (B.and2 b dp_parity commit);
+  B.output b "perf_trap" perf_trap;
+  B.output b "commit" commit;
+
+  let circuit = B.finalize b in
+  let v = Array.to_list v_arr
+  and d = Array.to_list dribble
+  and t = Array.to_list trap in
+  let coverage_sets =
+    [
+      ("IU1", v @ d);
+      ("IU2", d @ t @ [ is_load; is_store; is_branch ]);
+      ("IU3", v @ t @ [ hazard_ld ]);
+      ( "IU4",
+        [ low_mark; high_mark ] @ d @ [ is_load; is_store; is_branch; is_trap ]
+      );
+      ("IU5", [ hazard_ld; hazard_br; fwd_a; fwd_b; perf_trap; is_trap ] @ d);
+    ]
+  in
+  List.iter (fun (_, set) -> assert (List.length set = 10)) coverage_sets;
+  { circuit; coverage_sets }

@@ -1,0 +1,31 @@
+(** Synthetic stand-in for the Integer Unit (IU) of the Sun picoJava
+    microprocessor used in the paper's Table 2.
+
+    A six-stage pipeline control cluster — stage valid bits, hazard
+    and forwarding logic, a trap FSM, and the stack-cache "dribbler"
+    FSM with watermark flags — over a stack-cache datapath (entry
+    store, operand latches, pointers). The control FSMs read each
+    other, so the whole control core is one strongly connected
+    component: the five coverage sets all have the same COI, exactly
+    the surprise the paper reports for IU1–IU5.
+
+    Each coverage set has 10 registers, hence 1,024 coverage states;
+    unreachability comes from one-hot FSM encodings and pipeline-flow
+    invariants. *)
+
+type params = {
+  sc_entries : int;  (** stack cache entries *)
+  sc_width : int;  (** bits per entry *)
+  operand_latches : int;
+}
+
+val default : params
+val small : params
+
+type t = {
+  circuit : Rfn_circuit.Circuit.t;
+  coverage_sets : (string * int list) list;
+      (** IU1 … IU5, each 10 register signals *)
+}
+
+val make : ?params:params -> unit -> t

@@ -1,0 +1,354 @@
+open Rfn_circuit
+module B = Circuit.Builder
+
+type params = {
+  clients : int;
+  cnt_width : int;
+  bug_threshold : int;
+  regfile_words : int;
+  regfile_width : int;
+  reference_regs : int;
+  lfsr_count : int;
+  lfsr_width : int;
+  history_chains : int;
+  history_depth : int;
+  perf_counters : int;
+  perf_width : int;
+  hash_depth : int;
+  pad_regs : int;
+}
+
+let default =
+  {
+    clients = 4;
+    cnt_width = 5;
+    bug_threshold = 25;
+    regfile_words = 64;
+    regfile_width = 32;
+    reference_regs = 16;
+    lfsr_count = 4;
+    lfsr_width = 128;
+    history_chains = 4;
+    history_depth = 128;
+    perf_counters = 8;
+    perf_width = 32;
+    hash_depth = 25;
+    pad_regs = 1090;
+  }
+
+let small =
+  {
+    clients = 2;
+    cnt_width = 3;
+    bug_threshold = 3;
+    regfile_words = 4;
+    regfile_width = 4;
+    reference_regs = 2;
+    lfsr_count = 1;
+    lfsr_width = 5;
+    history_chains = 1;
+    history_depth = 4;
+    perf_counters = 1;
+    perf_width = 4;
+    hash_depth = 1;
+    pad_regs = 4;
+  }
+
+type t = { circuit : Circuit.t; mutex : Property.t; error_flag : Property.t }
+
+(* Binary AND tree (explicit two-input gates, gate-count faithful to a
+   synthesized netlist, unlike the builder's n-ary gates). *)
+let rec and_tree b = function
+  | [] -> B.const b true
+  | [ x ] -> x
+  | xs ->
+    let rec pair = function
+      | a :: c :: rest -> B.and2 b a c :: pair rest
+      | tail -> tail
+    in
+    and_tree b (pair xs)
+
+let rec or_tree b = function
+  | [] -> B.const b false
+  | [ x ] -> x
+  | xs ->
+    let rec pair = function
+      | a :: c :: rest -> B.or2 b a c :: pair rest
+      | tail -> tail
+    in
+    or_tree b (pair xs)
+
+let rec xor_tree b = function
+  | [] -> B.const b false
+  | [ x ] -> x
+  | xs ->
+    let rec pair = function
+      | a :: c :: rest -> B.xor2 b a c :: pair rest
+      | tail -> tail
+    in
+    xor_tree b (pair xs)
+
+(* Wide equality with an explicit tree. *)
+let eq_tree b x y =
+  and_tree b (Array.to_list (Rtl.xor_ b x y) |> List.map (B.not_ b))
+
+(* Rotating-priority arbiter bank over a one-hot pointer: client i is
+   granted iff it requests and no client between the pointer and i
+   (cyclically) requests. One-hot output relies on the pointer being
+   one-hot — the invariant RFN must discover. *)
+let arbiter_bank b ~name ~reqs ~active ~enable =
+  let n = Array.length reqs in
+  let ptr =
+    Array.init n (fun i ->
+        B.reg b
+          ~init:(if i = 0 then `One else `Zero)
+          (Printf.sprintf "%s_ptr_%d" name i))
+  in
+  let grants =
+    Array.init n (fun i ->
+        let terms =
+          List.init n (fun j ->
+              (* pointer at j, i is the first requester from j *)
+              let blockers =
+                let rec collect l acc =
+                  if l = i then acc
+                  else collect ((l + 1) mod n) (B.not_ b reqs.(l) :: acc)
+                in
+                collect j []
+              in
+              and_tree b (ptr.(j) :: reqs.(i) :: blockers))
+        in
+        B.and_l b [ or_tree b terms; active; enable ])
+  in
+  let any = or_tree b (Array.to_list grants) in
+  (* Rotate past the granted client. *)
+  let rotated = Array.init n (fun i -> ptr.((i + n - 1) mod n)) in
+  Array.iteri (fun i p -> B.connect b p (B.mux b any p rotated.(i))) ptr;
+  (grants, any)
+
+let make ?(params = default) () =
+  let p = params in
+  let b = B.create () in
+  let reqs = Array.init p.clients (fun i -> B.input b (Printf.sprintf "req_%d" i)) in
+  let flush = B.input b "flush" in
+  let fetch_en = B.input b "fetch_en" in
+  let mode_switch = B.input b "mode_switch" in
+  let wr_en = B.input b "wr_en" in
+  let din = Rtl.input b "din" p.regfile_width in
+
+  (* ---- datapath (the COI filler) ------------------------------- *)
+  (* Everything below reaches the control core only through [stall];
+     every stall term is gated by the sticky [wrote] bit so the design
+     is quiescent until the first write. *)
+  let wrote = B.reg b "wrote" in
+  let rec lg n = if n <= 1 then 0 else 1 + lg (n / 2) in
+  let wptr = Rtl.regs b "wptr" (max 1 (lg p.regfile_words)) in
+  let regfile =
+    Array.init p.regfile_words (fun i ->
+        Rtl.regs b (Printf.sprintf "rf_%d" i) p.regfile_width)
+  in
+  let refs =
+    Array.init p.reference_regs (fun i ->
+        Rtl.regs b (Printf.sprintf "ref_%d" i) p.regfile_width)
+  in
+  let lfsrs =
+    Array.init p.lfsr_count (fun i ->
+        let l = Rtl.regs b ~init:1 (Printf.sprintf "lfsr_%d" i) p.lfsr_width in
+        let w = p.lfsr_width in
+        let feedback = B.xor2 b l.(w - 1) l.(if w > 3 then w - 4 else 0) in
+        Array.iteri
+          (fun j r -> B.connect b r (if j = 0 then feedback else l.(j - 1)))
+          l;
+        l)
+  in
+  let history =
+    Array.init p.history_chains (fun i ->
+        Array.init p.history_depth (fun j ->
+            B.reg b (Printf.sprintf "hist_%d_%d" i j)))
+  in
+  let pads =
+    Array.init p.pad_regs (fun i -> B.reg b (Printf.sprintf "pad_%d" i))
+  in
+
+  (* ---- control core --------------------------------------------- *)
+  let m0 = B.reg b ~init:`One "mode_0" in
+  let m1 = B.reg b ~init:`Zero "mode_1" in
+  B.connect b m0 (B.mux b mode_switch m0 m1);
+  B.connect b m1 (B.mux b mode_switch m1 m0);
+
+  (* Stall terms. Each term is registered before reaching [stall], as
+     a synthesized design would pipeline its scoreboard: the huge
+     comparator logic then sits behind registers, so abstract models
+     whose cones reach [stall] stop at these flag registers instead of
+     swallowing the whole matrix. Each reference register is compared
+     only against its own group of regfile words (bounded operand
+     sharing keeps the comparators' BDDs small even if a flag register
+     is ever refined into an abstract model). *)
+  let cmp_hit_regs =
+    Array.init p.reference_regs (fun g ->
+        let hits =
+          Array.to_list regfile
+          |> List.filteri (fun i _ -> i mod p.reference_regs = g)
+          |> List.map (fun word -> eq_tree b word refs.(g))
+        in
+        B.reg_of b (Printf.sprintf "cmp_hit_%d" g) (or_tree b hits))
+  in
+  let hist_heavy_reg =
+    (* "history overflow": the oldest few bits of each chain are all
+       set — reading the chain tail keeps the whole chain in the COI *)
+    B.reg_of b "hist_heavy"
+      (or_tree b
+         (Array.to_list history
+         |> List.map (fun chain ->
+                let len = Array.length chain in
+                let n = min 3 len in
+                and_tree b (Array.to_list (Array.sub chain (len - n) n)))))
+  in
+  let rf_parity = xor_tree b (Array.to_list regfile |> List.concat_map Array.to_list) in
+  let rf_parity_reg = B.reg_of b "rf_parity" rf_parity in
+  let pad_parity_reg = B.reg_of b "pad_parity" (xor_tree b (Array.to_list pads)) in
+  let lfsr_hit_reg =
+    B.reg_of b "lfsr_hit"
+      (or_tree b
+         (Array.to_list lfsrs
+         |> List.mapi (fun i l ->
+                let word = regfile.((i + 1) mod p.regfile_words) in
+                let n = min 8 (min (Array.length l) p.regfile_width) in
+                eq_tree b (Array.sub l 0 n) (Array.sub word 0 n))))
+  in
+  (* A deep combinational mixing network per regfile word (the bulk of
+     the design's gate count, standing in for the datapath ALUs a real
+     processor synthesizes): layered rotate-xor-and hashing, observed
+     through a single registered detector. The detector is 0 whenever
+     the regfile is 0, so a quiescent design never raises it. *)
+  let hash_hit_reg =
+    let hash word =
+      let n = Array.length word in
+      let layer a =
+        Array.init n (fun j ->
+            B.xor2 b (B.and2 b a.(j) a.((j + 3) mod n)) a.((j + 7) mod n))
+      in
+      let rec go a d = if d = 0 then a else go (layer a) (d - 1) in
+      go word p.hash_depth
+    in
+    let detect word =
+      and_tree b (Array.to_list (Array.sub (hash word) 0 (min 8 p.regfile_width)))
+    in
+    B.reg_of b "hash_hit"
+      (or_tree b (Array.to_list regfile |> List.map detect))
+  in
+  let perf_sat = ref (B.const b false) in
+  (* perf counters are connected after the grants exist; perf_sat is a
+     forward reference resolved through a register *)
+  let perf_sat_reg = B.reg b "perf_sat" in
+  let stall =
+    B.and2 b wrote
+      (or_tree b
+         (Array.to_list cmp_hit_regs
+         @ [
+             hist_heavy_reg; rf_parity_reg; pad_parity_reg; lfsr_hit_reg;
+             hash_hit_reg; perf_sat_reg;
+           ]))
+  in
+
+  (* Pipeline valids. *)
+  let v_fetch = B.reg_of b "v_fetch" fetch_en in
+  let v_dec = B.reg_of b "v_dec" (B.and2 b v_fetch (B.not_ b stall)) in
+  let v_exe = B.reg b "v_exe" in
+  B.connect b v_exe (B.and2 b v_dec (B.not_ b stall));
+
+  (* Two arbiter banks, one per mode; double grants require breaking
+     the one-hot invariants. *)
+  let enable = B.and2 b v_exe (B.not_ b stall) in
+  let grants_a, _ = arbiter_bank b ~name:"bank_a" ~reqs ~active:m0 ~enable in
+  let grants_b, _ = arbiter_bank b ~name:"bank_b" ~reqs ~active:m1 ~enable in
+  let grants =
+    Array.init p.clients (fun i ->
+        B.reg_of b
+          (Printf.sprintf "grant_%d" i)
+          (B.or2 b grants_a.(i) grants_b.(i)))
+  in
+  let grant_any = or_tree b (Array.to_list grants) in
+
+  (* Transaction counter: counts grant-0 cycles, cleared by flush. *)
+  let cnt = Rtl.regs b "cnt" p.cnt_width in
+  let cnt_inc = B.and2 b grants.(0) (B.not_ b flush) in
+  Rtl.connect b cnt
+    (Rtl.mux b flush (Rtl.mux b cnt_inc cnt (Rtl.incr b cnt))
+       (Rtl.const b ~width:p.cnt_width 0));
+
+  (* Watchdog 1: mutual exclusion of grants. *)
+  let pairs = ref [] in
+  for i = 0 to p.clients - 1 do
+    for j = i + 1 to p.clients - 1 do
+      pairs := B.and2 b grants.(i) grants.(j) :: !pairs
+    done
+  done;
+  let mutex_wd = B.reg_of b "mutex_bad" (or_tree b !pairs) in
+  B.output b "mutex" mutex_wd;
+
+  (* Watchdog 2: the planted bug. Arming takes four flush pulses
+     (retry saturates at 3, then one more flush arms); the violation
+     then needs bug_threshold+1 grant-0 cycles. *)
+  let retry = Rtl.regs b "retry" 3 in
+  let retry_sat = Rtl.eq_const b retry 3 in
+  Rtl.connect b retry
+    (Rtl.mux b (B.and2 b flush (B.not_ b retry_sat)) retry (Rtl.incr b retry));
+  let armed = B.reg b "armed" in
+  B.connect b armed (B.or2 b armed (B.and2 b retry_sat flush));
+  let violation =
+    B.and_l b [ armed; Rtl.eq_const b cnt p.bug_threshold; grants.(0) ]
+  in
+  let error_wd = B.reg_of b "error_bad" violation in
+  B.output b "error_flag" error_wd;
+
+  (* ---- datapath next-state logic -------------------------------- *)
+  let do_write = B.and2 b wr_en grant_any in
+  B.connect b wrote (B.or2 b wrote do_write);
+  Rtl.connect b wptr (Rtl.mux b do_write wptr (Rtl.incr b wptr));
+  Array.iteri
+    (fun i word ->
+      let sel = B.and2 b do_write (Rtl.eq_const b wptr i) in
+      Rtl.connect b word (Rtl.mux b sel word din))
+    regfile;
+  Array.iteri
+    (fun i r ->
+      (* references rotate among themselves on mode switches *)
+      let srcidx = (i + 1) mod p.reference_regs in
+      Rtl.connect b r (Rtl.mux b mode_switch r refs.(srcidx)))
+    refs;
+  let din_parity = xor_tree b (Array.to_list din) in
+  Array.iter
+    (fun chain ->
+      Array.iteri
+        (fun j r ->
+          let src = if j = 0 then din_parity else chain.(j - 1) in
+          B.connect b r (B.mux b do_write r src))
+        chain)
+    history;
+  Array.iteri
+    (fun i r ->
+      let src = if i = 0 then B.xor2 b rf_parity lfsrs.(0).(0) else pads.(i - 1) in
+      B.connect b r src)
+    pads;
+  let perf =
+    Array.init p.perf_counters (fun i ->
+        let en =
+          if i = 0 then B.and2 b grant_any (Rtl.is_zero b cnt)
+          else B.and2 b grant_any grants.(i mod p.clients)
+        in
+        Rtl.counter b ~name:(Printf.sprintf "perf_%d" i) ~width:p.perf_width
+          ~enable:en ())
+  in
+  perf_sat :=
+    or_tree b
+      (Array.to_list perf
+      |> List.map (fun c -> Rtl.eq_const b c ((1 lsl min p.perf_width 20) - 1)));
+  B.connect b perf_sat_reg !perf_sat;
+
+  let circuit = B.finalize b in
+  {
+    circuit;
+    mutex = Property.of_output circuit "mutex";
+    error_flag = Property.of_output circuit "error_flag";
+  }

@@ -1,0 +1,55 @@
+(** Synthetic stand-in for the paper's processor module (Table 1:
+    properties "mutex" — True — and "error_flag" — False with a
+    30-cycle violation; ≈5,000 registers and ≈10⁵ gates in the COI).
+
+    Structure:
+    - a control core: a two-bank rotating-priority arbiter whose grant
+      one-hotness depends on state invariants (one-hot bank pointers
+      and a one-hot mode vector), pipeline valid bits, a transaction
+      counter and a retry counter;
+    - a wide datapath — register file, reference registers, comparator
+      matrix, LFSRs, history shift chains, performance counters and a
+      padding chain — whose only influence on the control core is a
+      [stall] signal, so the entire datapath lies in the properties'
+      cone of influence while no proof needs any of it;
+    - watchdogs: [mutex] asserts if two grants are ever simultaneous
+      (unreachable); [error_flag] asserts when the transaction counter
+      reaches its threshold while granting after three retries — a
+      planted protocol bug whose shortest violation is
+      [bug_threshold + 5] cycles.
+
+    The default parameters give 4,982 registers in the mutex COI and
+    four more (the retry/arm logic) in the error_flag COI, matching
+    the paper's Table 1 profile. *)
+
+type params = {
+  clients : int;  (** arbiter clients per bank *)
+  cnt_width : int;  (** transaction counter width *)
+  bug_threshold : int;  (** counter value arming the planted bug *)
+  regfile_words : int;
+  regfile_width : int;
+  reference_regs : int;  (** comparator reference registers *)
+  lfsr_count : int;
+  lfsr_width : int;
+  history_chains : int;
+  history_depth : int;
+  perf_counters : int;
+  perf_width : int;
+  hash_depth : int;  (** depth of the datapath mixing networks *)
+  pad_regs : int;  (** filler chain, for hitting exact COI sizes *)
+}
+
+val default : params
+(** Sized to the paper's Table 1 row: 4,982 registers in the mutex
+    COI, 25-cycle bug threshold (30-state violation trace). *)
+
+val small : params
+(** A small instance for tests (same structure, tiny datapath). *)
+
+type t = {
+  circuit : Rfn_circuit.Circuit.t;
+  mutex : Rfn_circuit.Property.t;
+  error_flag : Rfn_circuit.Property.t;
+}
+
+val make : ?params:params -> unit -> t

@@ -1,0 +1,21 @@
+(** Synthetic stand-in for the USB bus controller design of the
+    paper's Table 2.
+
+    A packet-protocol engine: a one-hot receive FSM (sync / pid /
+    token / data / crc / handshake / eop / error), a latched PID, an
+    endpoint FSM, status flags, CRC5/CRC16 registers, a byte counter
+    and a data shift register. Coverage sets: USB1 has 6 signals
+    (receive-FSM bits — mostly unreachable because of the one-hot
+    encoding), USB2 has 21 signals (FSM + PID + endpoint + flags). *)
+
+type params = { shift_bytes : int; fifo_words : int }
+
+val default : params
+val small : params
+
+type t = {
+  circuit : Rfn_circuit.Circuit.t;
+  coverage_sets : (string * int list) list;  (** USB1 (6), USB2 (21) *)
+}
+
+val make : ?params:params -> unit -> t

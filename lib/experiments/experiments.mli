@@ -1,0 +1,107 @@
+(** Reproduction drivers for every table and figure in the paper's
+    evaluation (Section 3), plus the ablations DESIGN.md calls out.
+    Shared by [bin/] and the benchmark harness. *)
+
+(** Table 1 — property verification on the processor module and the
+    FIFO controller, with the plain COI model-checking baseline. *)
+module Table1 : sig
+  type row = {
+    property : string;
+    coi_regs : int;
+    coi_gates : int;
+    seconds : float;
+    result : string;  (** "T", "F" or an abort message *)
+    abstract_regs : int;
+    trace_cycles : int option;  (** length of the error trace, if any *)
+    baseline : (string * float) option;  (** COI-MC verdict and time *)
+  }
+
+  val run :
+    ?small:bool -> ?baseline:bool -> ?baseline_seconds:float -> unit ->
+    row list
+
+  val print : Format.formatter -> row list -> unit
+end
+
+(** Table 2 — unreachable-coverage-state analysis, RFN vs BFS. *)
+module Table2 : sig
+  type row = {
+    set : string;
+    coi_regs : int;
+    coi_gates : int;
+    rfn_unreachable : int;
+    rfn_abstract_regs : int;
+    rfn_seconds : float;
+    bfs_unreachable : int;
+    bfs_seconds : float;
+  }
+
+  val run : ?small:bool -> ?budget:float -> ?bfs_k:int -> unit -> row list
+  val print : Format.formatter -> row list -> unit
+end
+
+(** Figure 1 — the min-cut structure of the hybrid engine: abstract
+    model inputs vs min-cut inputs, and how many pre-image steps were
+    solved with no-cut cubes directly vs needing ATPG extension. *)
+module Figure1 : sig
+  type row = {
+    experiment : string;
+    iteration : int;
+    model_inputs : int;
+    cut_size : int;
+    no_cut_steps : int;
+    min_cut_steps : int;
+  }
+
+  val run : ?small:bool -> unit -> row list
+  val print : Format.formatter -> row list -> unit
+end
+
+(** Section 2.3 ablation — guided vs unguided sequential ATPG on the
+    original design. *)
+module Guidance : sig
+  type row = {
+    experiment : string;
+    depth : int;
+    guided_found : bool;
+    guided_backtracks : int;
+    guided_decisions : int;
+    unguided_found : bool;
+    unguided_backtracks : int;
+    unguided_decisions : int;
+  }
+
+  val run : ?small:bool -> ?budget:Rfn_atpg.Atpg.limits -> unit -> row list
+  val print : Format.formatter -> row list -> unit
+end
+
+(** Section 2.2/4 ablation — BDD subsetting as a pre-image fallback,
+    the alternative the paper evaluated and rejected as "too drastic":
+    heavy-branch subsetting of the reachability rings to a tenth of
+    their size and the fraction of states surviving. *)
+module Subsetting : sig
+  type row = {
+    experiment : string;
+    ring : int;
+    original_size : int;
+    subset_size : int;
+    density_retained : float;  (** fraction of ring states kept *)
+  }
+
+  val run : ?small:bool -> unit -> row list
+  val print : Format.formatter -> row list -> unit
+end
+
+(** Section 2.4 ablation — the two-phase refinement: candidate-list
+    sizes vs registers actually kept, per refinement iteration. *)
+module Refinement : sig
+  type row = {
+    experiment : string;
+    iteration : int;
+    candidates : int;
+    added : int;
+  }
+
+  val run : ?small:bool -> unit -> row list
+  val print : Format.formatter -> row list -> unit
+end

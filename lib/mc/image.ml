@@ -1,0 +1,92 @@
+open Rfn_circuit
+module Bdd = Rfn_bdd.Bdd
+
+type t = {
+  vm : Varmap.t;
+  clusters : Bdd.t array;
+  schedule : int list array;
+      (* schedule.(0): quantified before any cluster;
+         schedule.(i+1): quantified together with cluster i *)
+}
+
+let make ?(cluster_size = 5000) vm =
+  let view = Varmap.view vm in
+  let man = Varmap.man vm in
+  let fn = Symbolic.functions vm in
+  (* One bit-relation per register, ordered by next-state variable so
+     that FORCE-adjacent state bits cluster together. *)
+  let bits =
+    Array.to_list view.Sview.regs
+    |> List.map (fun r ->
+           let next =
+             match Circuit.node view.Sview.circuit r with
+             | Circuit.Reg { next; _ } -> next
+             | _ -> assert false
+           in
+           let rel =
+             Bdd.dxor man (Bdd.var man (Varmap.nxt_var vm r)) (fn next)
+             |> Bdd.dnot man
+           in
+           (Varmap.nxt_var vm r, rel))
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  let clusters =
+    let rec go acc current = function
+      | [] -> List.rev (match current with None -> acc | Some c -> c :: acc)
+      | rel :: rest -> (
+        match current with
+        | None -> go acc (Some rel) rest
+        | Some c ->
+          let c' = Bdd.dand man c rel in
+          if Bdd.size man c' <= cluster_size then go acc (Some c') rest
+          else go (c :: acc) (Some rel) rest)
+    in
+    Array.of_list (List.map (Bdd.protect man) (go [] None bits))
+  in
+  (* Last cluster mentioning each quantifiable variable. *)
+  let quantifiable v =
+    match Varmap.role vm v with
+    | Varmap.Cur _ | Varmap.Inp _ -> true
+    | Varmap.Nxt _ -> false
+    | exception Not_found -> false
+  in
+  let last = Hashtbl.create 97 in
+  Array.iteri
+    (fun i c ->
+      List.iter
+        (fun v -> if quantifiable v then Hashtbl.replace last v i)
+        (Bdd.support man c))
+    clusters;
+  let schedule = Array.make (Array.length clusters + 1) [] in
+  List.iter
+    (fun v ->
+      let slot =
+        match Hashtbl.find_opt last v with Some i -> i + 1 | None -> 0
+      in
+      schedule.(slot) <- v :: schedule.(slot))
+    (Varmap.cur_vars vm @ Varmap.inp_vars vm);
+  { vm; clusters; schedule }
+
+let num_clusters t = Array.length t.clusters
+
+let post t q =
+  let man = Varmap.man t.vm in
+  let r = ref (Bdd.exists man t.schedule.(0) q) in
+  Array.iteri
+    (fun i c -> r := Bdd.and_exists man t.schedule.(i + 1) !r c)
+    t.clusters;
+  Varmap.rename_next_to_cur t.vm !r
+
+let pre_via_compose vm ~fn q =
+  let man = Varmap.man vm in
+  let view = Varmap.view vm in
+  let subst = Hashtbl.create 97 in
+  Array.iter
+    (fun r ->
+      match Circuit.node view.Sview.circuit r with
+      | Circuit.Reg { next; _ } ->
+        Hashtbl.replace subst (Varmap.cur_var vm r) (fn next)
+      | _ -> assert false)
+    view.Sview.regs;
+  Bdd.vector_compose man (fun v -> Hashtbl.find_opt subst v) q

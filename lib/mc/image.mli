@@ -1,0 +1,30 @@
+(** Post-image computation with a partitioned transition relation.
+
+    The transition relation is kept as clusters of per-register bit
+    relations [x'ᵣ ≡ fᵣ(x, i)], conjoined greedily up to a size bound.
+    A quantification schedule assigns every current-state and input
+    variable to the last cluster whose support mentions it, so
+    variables are quantified out as early as possible — the reason the
+    paper's forward fixpoint tolerates abstract models with thousands
+    of (pseudo-)inputs. *)
+
+type t
+
+val make : ?cluster_size:int -> Varmap.t -> t
+(** Build the clustered relation for the varmap's view (default
+    cluster size bound: 5000 nodes). May raise
+    [Rfn_bdd.Bdd.Limit_exceeded]. *)
+
+val num_clusters : t -> int
+
+val post : t -> Rfn_bdd.Bdd.t -> Rfn_bdd.Bdd.t
+(** [post t q]: states reachable in one step from [q] (both over
+    current-state variables). *)
+
+val pre_via_compose :
+  Varmap.t -> fn:(int -> Rfn_bdd.Bdd.t) -> Rfn_bdd.Bdd.t -> Rfn_bdd.Bdd.t
+(** Pre-image by functional substitution: replace every current-state
+    variable in the argument by the register's next-state function
+    under [fn]. Used by the hybrid engine on the min-cut design, where
+    it yields a predicate over current-state and (cut-)input
+    variables. *)

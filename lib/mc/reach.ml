@@ -1,0 +1,78 @@
+module Bdd = Rfn_bdd.Bdd
+
+type outcome = Proved | Reached of int | Closed of int | Aborted of string
+
+type result = {
+  outcome : outcome;
+  rings : Bdd.t array;
+  reached : Bdd.t;
+  steps : int;
+  seconds : float;
+}
+
+let bad_predicate vm ~fn ~bad =
+  let man = Varmap.man vm in
+  Bdd.exists man (Varmap.inp_vars vm) (fn bad)
+
+let run ?(max_steps = max_int) ?max_seconds ?(stop_at_bad = true) img ~vm ~init
+    ~bad_states =
+  let man = Varmap.man vm in
+  let started = Sys.time () in
+  let elapsed () = Sys.time () -. started in
+  let over_time () =
+    match max_seconds with Some b -> elapsed () > b | None -> false
+  in
+  let rings = ref [ init ] in
+  let first_hit = ref None in
+  let touches set = not (Bdd.is_zero (Bdd.dand man set bad_states)) in
+  let finish outcome steps reached =
+    {
+      outcome;
+      rings = Array.of_list (List.rev !rings);
+      reached;
+      steps;
+      seconds = elapsed ();
+    }
+  in
+  if touches init && stop_at_bad then finish (Reached 0) 0 init
+  else begin
+    if touches init then first_hit := Some 0;
+    let closed steps reached =
+      match !first_hit with
+      | Some k -> finish (Closed k) steps reached
+      | None -> finish Proved steps reached
+    in
+    let rec loop step reached frontier =
+      if step >= max_steps then finish (Aborted "step limit") step reached
+      else if over_time () then finish (Aborted "time limit") step reached
+      else begin
+        (* Collect dead intermediates before each image once the store
+           is three-quarters full; protected structures (transition
+           clusters, cone tables) survive automatically. *)
+        if
+          Bdd.node_limit man < max_int
+          && 4 * Bdd.num_nodes man > 3 * Bdd.node_limit man
+        then Bdd.gc man ~roots:(reached :: bad_states :: !rings);
+        match
+          let image = Image.post img frontier in
+          Bdd.diff man image reached
+        with
+        | exception Bdd.Limit_exceeded ->
+          finish (Aborted "node limit") step reached
+        | fresh ->
+          if Bdd.is_zero fresh then closed step reached
+          else begin
+            rings := fresh :: !rings;
+            let reached = Bdd.dor man reached fresh in
+            if touches fresh && !first_hit = None then begin
+              first_hit := Some (step + 1);
+              if stop_at_bad then
+                finish (Reached (step + 1)) (step + 1) reached
+              else loop (step + 1) reached fresh
+            end
+            else loop (step + 1) reached fresh
+          end
+      end
+    in
+    loop 0 init init
+  end

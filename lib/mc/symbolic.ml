@@ -1,0 +1,93 @@
+open Rfn_circuit
+module Bdd = Rfn_bdd.Bdd
+
+(* Balanced reduction: a linear fold over a wide gate (a 2,000-input
+   parity, say) allocates quadratically many intermediate nodes, and
+   the manager has no garbage collector; divide-and-conquer keeps the
+   intermediates near n·log n. *)
+let reduce man op neutral args =
+  let rec go lo hi =
+    if hi - lo = 0 then neutral
+    else if hi - lo = 1 then args.(lo)
+    else
+      let mid = (lo + hi) / 2 in
+      op man (go lo mid) (go mid hi)
+  in
+  go 0 (Array.length args)
+
+let gate_bdd man kind args =
+  match kind with
+  | Gate.Not -> Bdd.dnot man args.(0)
+  | Gate.Buf -> args.(0)
+  | Gate.And -> reduce man Bdd.dand (Bdd.one man) args
+  | Gate.Nand -> Bdd.dnot man (reduce man Bdd.dand (Bdd.one man) args)
+  | Gate.Or -> reduce man Bdd.dor (Bdd.zero man) args
+  | Gate.Nor -> Bdd.dnot man (reduce man Bdd.dor (Bdd.zero man) args)
+  | Gate.Xor -> reduce man Bdd.dxor (Bdd.zero man) args
+  | Gate.Xnor -> Bdd.dnot man (reduce man Bdd.dxor (Bdd.zero man) args)
+  | Gate.Mux -> Bdd.ite man args.(0) args.(2) args.(1)
+
+let functions_for vm view =
+  let man = Varmap.man vm in
+  let c = view.Sview.circuit in
+  let memo : (int, Bdd.t) Hashtbl.t = Hashtbl.create 997 in
+  let built = ref false in
+  let base s =
+    if Sview.is_free view s then Bdd.var man (Varmap.inp_var vm s)
+    else
+      match Circuit.node c s with
+      | Circuit.Const b -> if b then Bdd.one man else Bdd.zero man
+      | Circuit.Reg _ -> Bdd.var man (Varmap.cur_var vm s)
+      | Circuit.Input -> assert false
+      | Circuit.Gate _ -> assert false
+  in
+  let build_all () =
+    Array.iter
+      (fun s ->
+        if Sview.mem view s then
+          let f =
+            if Sview.is_free view s then base s
+            else
+              match Circuit.node c s with
+              | Circuit.Gate (kind, fanins) ->
+                gate_bdd man kind
+                  (Array.map (fun x -> Hashtbl.find memo x) fanins)
+              | Circuit.Const _ | Circuit.Reg _ -> base s
+              | Circuit.Input -> assert false
+          in
+          Hashtbl.replace memo s (Bdd.protect man f))
+      c.Circuit.topo;
+    built := true
+  in
+  fun s ->
+    if not (Sview.mem view s) then
+      invalid_arg "Symbolic.functions: signal outside the view";
+    if not !built then build_all ();
+    Hashtbl.find memo s
+
+let functions vm = functions_for vm (Varmap.view vm)
+
+let initial_states vm =
+  let view = Varmap.view vm in
+  let man = Varmap.man vm in
+  Array.fold_left
+    (fun acc r ->
+      match Circuit.node view.Sview.circuit r with
+      | Circuit.Reg { init = `Zero; _ } ->
+        Bdd.dand man acc (Bdd.nvar man (Varmap.cur_var vm r))
+      | Circuit.Reg { init = `One; _ } ->
+        Bdd.dand man acc (Bdd.var man (Varmap.cur_var vm r))
+      | Circuit.Reg { init = `Free; _ } -> acc
+      | _ -> assert false)
+    (Bdd.one man) view.Sview.regs
+
+let state_cube vm cube =
+  let man = Varmap.man vm in
+  Bdd.cube man
+    (List.map
+       (fun (s, b) ->
+         match Varmap.cur_var vm s with
+         | v -> (v, b)
+         | exception Not_found ->
+           invalid_arg "Symbolic.state_cube: not a register of the view")
+       (Cube.to_list cube))

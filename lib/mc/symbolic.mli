@@ -1,0 +1,29 @@
+(** Building BDDs for subcircuit cones.
+
+    Every signal of a view becomes a function of the view's
+    current-state and input variables. Signals are processed in
+    topological order, so recursion depth is never an issue; gates are
+    shared through the circuit's structural hashing. *)
+
+val functions : Varmap.t -> (int -> Rfn_bdd.Bdd.t)
+(** [functions vm] returns a memoized lookup: the BDD of any signal
+    inside the view, over [Cur] variables (registers) and [Inp]
+    variables (free inputs). Raises [Invalid_argument] for signals
+    outside the view. May raise [Rfn_bdd.Bdd.Limit_exceeded]. *)
+
+val functions_for :
+  Varmap.t -> Rfn_circuit.Sview.t -> (int -> Rfn_bdd.Bdd.t)
+(** Like {!functions} but over a different view of the same circuit
+    sharing the varmap's manager and variable assignments — used for
+    the min-cut design, whose cut signals must first receive input
+    variables through {!Varmap.add_input_vars}. Every free signal of
+    the view needs an [Inp] variable and every register a [Cur]
+    variable, else [Not_found] is raised during construction. *)
+
+val initial_states : Varmap.t -> Rfn_bdd.Bdd.t
+(** Conjunction of the registers' initial values over [Cur] variables;
+    [`Free] registers are unconstrained. *)
+
+val state_cube : Varmap.t -> Rfn_circuit.Cube.t -> Rfn_bdd.Bdd.t
+(** BDD of a cube over register signals ([Cur] variables). Assignments
+    to non-register signals are rejected with [Invalid_argument]. *)

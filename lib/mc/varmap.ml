@@ -1,0 +1,156 @@
+open Rfn_circuit
+module Bdd = Rfn_bdd.Bdd
+module Force = Rfn_bdd.Force
+
+type role = Cur of int | Nxt of int | Inp of int
+
+type t = {
+  man : Bdd.man;
+  view : Sview.t;
+  cur : (int, int) Hashtbl.t;
+  nxt : (int, int) Hashtbl.t;
+  inp : (int, int) Hashtbl.t;
+  roles : (int, role) Hashtbl.t;
+  initial_inp : int list;
+}
+
+(* FORCE order over the view's signals: one hyperedge per gate (the
+   gate with its fanins) and one per register (the register with its
+   next-state input), then keep only the variable-bearing signals. *)
+let ordered_var_signals ?rank_of view =
+  let c = view.Sview.circuit in
+  let n = Circuit.num_signals c in
+  let idx_of = Array.make n (-1) in
+  let count = ref 0 in
+  Bitset.iter
+    (fun s ->
+      idx_of.(s) <- !count;
+      incr count)
+    view.Sview.inside;
+  let sig_of = Array.make !count 0 in
+  Bitset.iter (fun s -> sig_of.(idx_of.(s)) <- s) view.Sview.inside;
+  let edges = ref [] in
+  Bitset.iter
+    (fun s ->
+      if not (Sview.is_free view s) then
+        match Circuit.node c s with
+        | Circuit.Gate (_, fanins) ->
+          let e =
+            idx_of.(s)
+            :: (Array.to_list fanins
+               |> List.filter_map (fun f ->
+                      if idx_of.(f) >= 0 then Some idx_of.(f) else None))
+          in
+          edges := e :: !edges
+        | Circuit.Reg { next; _ } when idx_of.(next) >= 0 ->
+          edges := [ idx_of.(s); idx_of.(next) ] :: !edges
+        | _ -> ())
+    view.Sview.inside;
+  (* Seed FORCE with a previous iteration's order when provided:
+     previously-placed signals keep their relative order up front, new
+     signals follow in index order. *)
+  let init =
+    match rank_of with
+    | None -> None
+    | Some rank ->
+      let vertices = Array.init !count (fun i -> i) in
+      let key i =
+        match rank sig_of.(i) with
+        | Some r -> (0, r, i)
+        | None -> (1, i, i)
+      in
+      Array.sort (fun a b -> compare (key a) (key b)) vertices;
+      let pos = Array.make !count 0 in
+      Array.iteri (fun level v -> pos.(v) <- level) vertices;
+      Some pos
+  in
+  let pos = Force.order ?init ~nvars:!count ~edges:!edges () in
+  let var_signals =
+    Array.to_list view.Sview.regs @ Array.to_list view.Sview.free_inputs
+  in
+  List.sort (fun a b -> compare pos.(idx_of.(a)) pos.(idx_of.(b))) var_signals
+
+let signal_rank t s =
+  match Hashtbl.find_opt t.cur s with
+  | Some v -> Some v
+  | None -> Hashtbl.find_opt t.inp s
+
+let make ?(node_limit = max_int) ?previous view =
+  let rank_of =
+    Option.map (fun prev s -> signal_rank prev s) previous
+  in
+  let signals = ordered_var_signals ?rank_of view in
+  let nvars =
+    List.fold_left
+      (fun acc s -> acc + if Circuit.is_reg view.Sview.circuit s
+                             && not (Sview.is_free view s) then 2 else 1)
+      0 signals
+  in
+  let man = Bdd.create ~node_limit ~nvars () in
+  let cur = Hashtbl.create 97
+  and nxt = Hashtbl.create 97
+  and inp = Hashtbl.create 97
+  and roles = Hashtbl.create 197 in
+  let level = ref 0 in
+  let initial_inp = ref [] in
+  List.iter
+    (fun s ->
+      if Circuit.is_reg view.Sview.circuit s && not (Sview.is_free view s)
+      then begin
+        Hashtbl.replace cur s !level;
+        Hashtbl.replace roles !level (Cur s);
+        Hashtbl.replace nxt s (!level + 1);
+        Hashtbl.replace roles (!level + 1) (Nxt s);
+        level := !level + 2
+      end
+      else begin
+        Hashtbl.replace inp s !level;
+        Hashtbl.replace roles !level (Inp s);
+        initial_inp := !level :: !initial_inp;
+        incr level
+      end)
+    signals;
+  { man; view; cur; nxt; inp; roles; initial_inp = List.rev !initial_inp }
+
+let man t = t.man
+let view t = t.view
+let cur_var t s = Hashtbl.find t.cur s
+let nxt_var t s = Hashtbl.find t.nxt s
+let inp_var t s = Hashtbl.find t.inp s
+let has_inp_var t s = Hashtbl.mem t.inp s
+let role t v = Hashtbl.find t.roles v
+
+let vars_of tbl = Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+
+let cur_vars t = List.sort compare (vars_of t.cur)
+let nxt_vars t = List.sort compare (vars_of t.nxt)
+let inp_vars t = t.initial_inp
+
+let add_input_vars t signals =
+  let fresh = List.filter (fun s -> not (Hashtbl.mem t.inp s)) signals in
+  match fresh with
+  | [] -> ()
+  | _ ->
+    let first = Bdd.add_vars t.man (List.length fresh) in
+    List.iteri
+      (fun i s ->
+        Hashtbl.replace t.inp s (first + i);
+        Hashtbl.replace t.roles (first + i) (Inp s))
+      fresh
+
+let rename_next_to_cur t f =
+  Bdd.rename t.man
+    (fun v ->
+      match Hashtbl.find_opt t.roles v with
+      | Some (Nxt s) -> Hashtbl.find t.cur s
+      | _ -> v)
+    f
+
+let cube_of_bdd_cube t literals =
+  List.map
+    (fun (v, b) ->
+      match role t v with
+      | Cur s | Inp s -> (s, b)
+      | Nxt _ ->
+        invalid_arg "Varmap.cube_of_bdd_cube: next-state variable in cube")
+    literals

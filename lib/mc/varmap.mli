@@ -1,0 +1,63 @@
+(** BDD variable allocation for a subcircuit view.
+
+    Each register of the view gets a current-state and a next-state
+    variable at adjacent levels; each free input gets one variable.
+    Levels are assigned by the FORCE heuristic over the view's circuit
+    graph, so related state bits sit next to each other — the static
+    order the fixpoint engine starts from.
+
+    Extra input variables can be appended later for signals that become
+    cut points (the hybrid engine's min-cut inputs). *)
+
+type role =
+  | Cur of int  (** current-state variable of a register signal *)
+  | Nxt of int  (** next-state variable of a register signal *)
+  | Inp of int  (** input variable of a free-input (or cut) signal *)
+
+type t
+
+val make : ?node_limit:int -> ?previous:t -> Rfn_circuit.Sview.t -> t
+(** Creates the manager and allocates variables for the view's
+    registers and free inputs. [previous] seeds the FORCE ordering with
+    the order of a varmap from an earlier refinement iteration — the
+    paper saves the BDD variable ordering at the end of Step 2 and
+    reuses it as the next iteration's initial ordering. *)
+
+val signal_rank : t -> int -> int option
+(** Level of the variable carrying a signal (its [Cur] or [Inp]
+    variable), if allocated — the hand-off {!make}'s [previous] uses. *)
+
+val man : t -> Rfn_bdd.Bdd.man
+val view : t -> Rfn_circuit.Sview.t
+
+val cur_var : t -> int -> int
+(** Current-state variable of a register signal. Raises [Not_found]. *)
+
+val nxt_var : t -> int -> int
+val inp_var : t -> int -> int
+(** Input variable of a free input or added cut signal. *)
+
+val has_inp_var : t -> int -> bool
+
+val role : t -> int -> role
+(** Role of a BDD variable. Raises [Not_found] for unallocated. *)
+
+val cur_vars : t -> int list
+val nxt_vars : t -> int list
+val inp_vars : t -> int list
+(** Input variables allocated by [make] (excludes later additions). *)
+
+val add_input_vars : t -> int list -> unit
+(** Allocate input variables (at the bottom of the order) for signals
+    that do not have one — used for min-cut signals. Idempotent per
+    signal. *)
+
+val rename_next_to_cur : t -> Rfn_bdd.Bdd.t -> Rfn_bdd.Bdd.t
+(** Rename every next-state variable to the matching current-state
+    variable (fast structural relabeling: the interleaved order makes
+    the map monotone). *)
+
+val cube_of_bdd_cube : t -> (int * bool) list -> (int * bool) list
+(** Translate a BDD cube (over variables) to signal space, mapping
+    [Cur]/[Inp] variables to their signals. Next-state variables are
+    rejected with [Invalid_argument]. *)

@@ -1,0 +1,117 @@
+(* Adjacency as paired edge arrays: edge 2k and 2k+1 are a forward edge
+   and its residual twin. *)
+type graph = {
+  n : int;
+  mutable to_ : int array;
+  mutable cap : int array;
+  mutable m : int;  (* number of edge slots used *)
+  adj : int list array;  (* edge indices out of each vertex, reversed *)
+}
+
+let create n = { n; to_ = Array.make 16 0; cap = Array.make 16 0; m = 0; adj = Array.make n [] }
+
+let grow g =
+  if g.m + 2 > Array.length g.to_ then begin
+    let len = 2 * Array.length g.to_ in
+    let extend a =
+      let b = Array.make len 0 in
+      Array.blit a 0 b 0 g.m;
+      b
+    in
+    g.to_ <- extend g.to_;
+    g.cap <- extend g.cap
+  end
+
+let add_edge g u v c =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then
+    invalid_arg "Flow.add_edge: vertex out of range";
+  grow g;
+  let e = g.m in
+  g.to_.(e) <- v;
+  g.cap.(e) <- c;
+  g.to_.(e + 1) <- u;
+  g.cap.(e + 1) <- 0;
+  g.adj.(u) <- e :: g.adj.(u);
+  g.adj.(v) <- (e + 1) :: g.adj.(v);
+  g.m <- e + 2
+
+let max_flow g ~source ~sink =
+  let level = Array.make g.n (-1) in
+  let iter = Array.make g.n [] in
+  let bfs () =
+    Array.fill level 0 g.n (-1);
+    level.(source) <- 0;
+    let q = Queue.create () in
+    Queue.add source q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun e ->
+          let v = g.to_.(e) in
+          if g.cap.(e) > 0 && level.(v) < 0 then begin
+            level.(v) <- level.(u) + 1;
+            Queue.add v q
+          end)
+        g.adj.(u)
+    done;
+    level.(sink) >= 0
+  in
+  let rec dfs u pushed =
+    if u = sink then pushed
+    else begin
+      let rec try_edges () =
+        match iter.(u) with
+        | [] -> 0
+        | e :: rest ->
+          let v = g.to_.(e) in
+          if g.cap.(e) > 0 && level.(v) = level.(u) + 1 then begin
+            let d = dfs v (min pushed g.cap.(e)) in
+            if d > 0 then begin
+              g.cap.(e) <- g.cap.(e) - d;
+              g.cap.(e lxor 1) <- g.cap.(e lxor 1) + d;
+              d
+            end
+            else begin
+              iter.(u) <- rest;
+              try_edges ()
+            end
+          end
+          else begin
+            iter.(u) <- rest;
+            try_edges ()
+          end
+      in
+      try_edges ()
+    end
+  in
+  let flow = ref 0 in
+  while bfs () do
+    Array.blit g.adj 0 iter 0 g.n;
+    let rec push () =
+      let d = dfs source max_int in
+      if d > 0 then begin
+        flow := !flow + d;
+        push ()
+      end
+    in
+    push ()
+  done;
+  !flow
+
+let min_cut_reachable g ~source =
+  let reach = Array.make g.n false in
+  reach.(source) <- true;
+  let q = Queue.create () in
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun e ->
+        let v = g.to_.(e) in
+        if g.cap.(e) > 0 && not reach.(v) then begin
+          reach.(v) <- true;
+          Queue.add v q
+        end)
+      g.adj.(u)
+  done;
+  reach

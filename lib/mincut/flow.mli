@@ -1,0 +1,20 @@
+(** Max-flow (Dinic's algorithm) on unit/infinite-capacity graphs.
+
+    Small generic core used by {!Mincut}; exposed for direct testing
+    against brute-force min cuts. *)
+
+type graph
+
+val create : int -> graph
+(** [create n] with vertices [0 .. n-1]. *)
+
+val add_edge : graph -> int -> int -> int -> unit
+(** [add_edge g u v cap] (directed). *)
+
+val max_flow : graph -> source:int -> sink:int -> int
+(** Runs Dinic to completion and returns the flow value. The graph
+    retains the residual state for {!min_cut_reachable}. *)
+
+val min_cut_reachable : graph -> source:int -> bool array
+(** After {!max_flow}: vertices reachable from the source in the
+    residual graph (the source side of a minimum cut). *)

@@ -1,0 +1,127 @@
+open Rfn_circuit
+
+type v = V0 | V1 | VX
+
+let of_bool b = if b then V1 else V0
+let to_bool = function V0 -> Some false | V1 -> Some true | VX -> None
+
+let conflicts a b =
+  match (a, b) with V0, V1 | V1, V0 -> true | _, _ -> false
+
+let pp ppf = function
+  | V0 -> Format.pp_print_char ppf '0'
+  | V1 -> Format.pp_print_char ppf '1'
+  | VX -> Format.pp_print_char ppf 'X'
+
+let vnot = function V0 -> V1 | V1 -> V0 | VX -> VX
+
+(* n-ary AND over ternary values: 0 dominates, X taints. *)
+let vand_fold value fanins =
+  let rec go i acc =
+    if i >= Array.length fanins then acc
+    else
+      match value fanins.(i) with
+      | V0 -> V0
+      | VX -> go (i + 1) VX
+      | V1 -> go (i + 1) acc
+  in
+  go 0 V1
+
+let vor_fold value fanins =
+  let rec go i acc =
+    if i >= Array.length fanins then acc
+    else
+      match value fanins.(i) with
+      | V1 -> V1
+      | VX -> go (i + 1) VX
+      | V0 -> go (i + 1) acc
+  in
+  go 0 V0
+
+let vxor_fold value fanins =
+  let rec go i acc =
+    if i >= Array.length fanins then acc
+    else
+      match (value fanins.(i), acc) with
+      | VX, _ | _, VX -> VX
+      | V1, a -> go (i + 1) (vnot a)
+      | V0, a -> go (i + 1) a
+  in
+  go 0 V0
+
+let eval_gate kind value fanins =
+  match kind with
+  | Gate.Not -> vnot (value fanins.(0))
+  | Gate.Buf -> value fanins.(0)
+  | Gate.And -> vand_fold value fanins
+  | Gate.Nand -> vnot (vand_fold value fanins)
+  | Gate.Or -> vor_fold value fanins
+  | Gate.Nor -> vnot (vor_fold value fanins)
+  | Gate.Xor -> vxor_fold value fanins
+  | Gate.Xnor -> vnot (vxor_fold value fanins)
+  | Gate.Mux -> (
+    let d0 = value fanins.(1) and d1 = value fanins.(2) in
+    match value fanins.(0) with
+    | V0 -> d0
+    | V1 -> d1
+    | VX -> if d0 = d1 && d0 <> VX then d0 else VX)
+
+let eval view ~free ~state =
+  let c = view.Sview.circuit in
+  let values = Array.make (Circuit.num_signals c) VX in
+  let get s = values.(s) in
+  Array.iter
+    (fun s ->
+      if Sview.mem view s then
+        values.(s) <-
+          (if Sview.is_free view s then free s
+           else
+             match Circuit.node c s with
+             | Circuit.Const b -> of_bool b
+             | Circuit.Reg _ -> state s
+             | Circuit.Gate (kind, fanins) -> eval_gate kind get fanins
+             | Circuit.Input -> assert false (* inputs are free in views *)))
+    c.Circuit.topo;
+  values
+
+let step view ~free ~state =
+  let values = eval view ~free ~state in
+  let next r =
+    match Circuit.node view.Sview.circuit r with
+    | Circuit.Reg { next; _ } -> values.(next)
+    | _ -> invalid_arg "Sim3v.step: not a register"
+  in
+  (values, next)
+
+let run view ~init ~inputs ~cycles =
+  let state = ref init in
+  let frames = Array.make (cycles + 1) [||] in
+  for cycle = 0 to cycles do
+    let values, next =
+      step view ~free:(fun s -> inputs ~cycle s) ~state:!state
+    in
+    frames.(cycle) <- values;
+    state := next
+  done;
+  frames
+
+let replay_concrete c trace ~bad =
+  let view = Sview.whole c ~roots:[ bad ] in
+  let k = Trace.length trace in
+  let cube_value cube s ~default =
+    match Cube.value cube s with Some b -> of_bool b | None -> default
+  in
+  let init r =
+    match Circuit.node c r with
+    | Circuit.Reg { init = `Zero; _ } -> V0
+    | Circuit.Reg { init = `One; _ } -> V1
+    | Circuit.Reg { init = `Free; _ } ->
+      cube_value (Trace.state trace 0) r ~default:V0
+    | _ -> VX
+  in
+  let inputs ~cycle s =
+    if cycle < k then cube_value (Trace.input trace cycle) s ~default:V0
+    else V0
+  in
+  let frames = run view ~init ~inputs ~cycles:(k - 1) in
+  Array.exists (fun values -> values.(bad) = V1) frames

@@ -1,0 +1,58 @@
+(** Three-valued (0/1/X) gate-level simulation.
+
+    RFN uses 3-valued simulation in Step 4: the abstract error trace is
+    replayed step-by-step on the original design with every signal the
+    trace does not pin set to the unknown value X, and registers whose
+    simulated value *conflicts* with the trace (concrete 0 vs concrete
+    1 — X conflicts with nothing) become crucial-register candidates.
+
+    The same machinery validates concrete counterexamples (replay with
+    unassigned inputs defaulted) and backs the ATPG engine's forward
+    implication. *)
+
+type v = V0 | V1 | VX
+
+val of_bool : bool -> v
+val to_bool : v -> bool option
+val conflicts : v -> v -> bool
+(** Both concrete and different; X never conflicts. *)
+
+val pp : Format.formatter -> v -> unit
+
+val eval_gate : Rfn_circuit.Gate.kind -> (int -> v) -> int array -> v
+(** Ternary gate semantics: the output is concrete whenever it is
+    determined by the concrete fanins (e.g. one 0 on an AND). *)
+
+val eval :
+  Rfn_circuit.Sview.t -> free:(int -> v) -> state:(int -> v) -> v array
+(** Values of all signals of the view (signals outside are reported X).
+    [free] values the view's free inputs, [state] its registers. *)
+
+val step :
+  Rfn_circuit.Sview.t ->
+  free:(int -> v) ->
+  state:(int -> v) ->
+  v array * (int -> v)
+(** One clock cycle: combinational values plus next state. The next
+    state of a register is the value of its next-state input. *)
+
+(** Replaying traces on a design. *)
+
+val run :
+  Rfn_circuit.Sview.t ->
+  init:(int -> v) ->
+  inputs:(cycle:int -> int -> v) ->
+  cycles:int ->
+  v array array
+(** [run view ~init ~inputs ~cycles] simulates [cycles] transitions and
+    returns the per-cycle combinational values ([cycles + 1] arrays). *)
+
+val replay_concrete :
+  Rfn_circuit.Circuit.t -> Rfn_circuit.Trace.t -> bad:int -> bool
+(** Deterministic replay of a (possibly partial) trace on the whole
+    design: primary inputs take their trace value, defaulting to 0;
+    registers start from their declared initial values, with [`Free]
+    registers taking the value the trace's first state assigns (default
+    0). Returns whether the [bad] signal is 1 at some cycle ≤ the
+    trace length — i.e. whether the trace, completed with defaults,
+    is a genuine counterexample. *)

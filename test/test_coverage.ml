@@ -1,0 +1,156 @@
+(* Unreachable-coverage-state analysis vs exact enumeration. *)
+
+open Rfn_circuit
+module Coverage = Rfn_core.Coverage
+module Rfn = Rfn_core.Rfn
+module B = Circuit.Builder
+
+(* Exact coverage-state reachability by explicit search. *)
+let exact_reachable_codes circuit coverage =
+  let reachable = Helpers.explicit_reachable circuit in
+  let regs = circuit.Circuit.registers in
+  let idx x =
+    let rec go i = if regs.(i) = x then i else go (i + 1) in
+    go 0
+  in
+  let codes = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun code () ->
+      let value r = code land (1 lsl idx r) <> 0 in
+      Hashtbl.replace codes (Coverage.state_code ~coverage value) ())
+    reachable;
+  codes
+
+(* One-hot ring of 3 registers: of 8 coverage states only 3 reachable. *)
+let ring_design () =
+  let b = B.create () in
+  let advance = B.input b "advance" in
+  let r0 = B.reg b ~init:`One "r0" in
+  let r1 = B.reg b "r1" in
+  let r2 = B.reg b "r2" in
+  B.connect b r0 (B.mux b advance r0 r2);
+  B.connect b r1 (B.mux b advance r1 r0);
+  B.connect b r2 (B.mux b advance r2 r1);
+  B.output b "r0" r0;
+  (B.finalize b, [ r0; r1; r2 ])
+
+let config budget =
+  {
+    Rfn.default_config with
+    Rfn.max_seconds = Some budget;
+    max_iterations = 200;
+    node_limit = 500_000;
+    mc_max_steps = 500;
+  }
+
+let test_ring_exact () =
+  let c, coverage = ring_design () in
+  let report = Coverage.rfn_analysis ~config:(config 20.0) c ~coverage in
+  Alcotest.(check int) "total" 8 report.Coverage.total;
+  Alcotest.(check int) "five unreachable" 5 report.Coverage.unreachable;
+  Alcotest.(check int) "nothing unknown" 0 report.Coverage.unknown;
+  (* the status array matches exact reachability *)
+  let exact = exact_reachable_codes c coverage in
+  Array.iteri
+    (fun code status ->
+      match status with
+      | Coverage.Unreachable ->
+        Alcotest.(check bool)
+          (Printf.sprintf "code %d truly unreachable" code)
+          false (Hashtbl.mem exact code)
+      | Coverage.Reachable ->
+        Alcotest.(check bool)
+          (Printf.sprintf "code %d truly reachable" code)
+          true (Hashtbl.mem exact code)
+      | Coverage.Unknown -> ())
+    report.Coverage.status
+
+let test_bfs_ring () =
+  let c, coverage = ring_design () in
+  let report = Coverage.bfs_analysis ~k:3 c ~coverage in
+  Alcotest.(check int) "bfs finds the same five" 5 report.Coverage.unreachable
+
+let coverage_sound_random =
+  (* soundness on random circuits: states marked Unreachable must not
+     be reachable explicitly, Reachable ones must be *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40 ~name:"coverage verdicts sound (random)"
+       (Helpers.arbitrary_circuit ~nins:2 ~nregs:4 ~ngates:10)
+       (fun rc ->
+         let c = rc.Helpers.circuit in
+         let coverage = Array.to_list c.Circuit.registers in
+         let coverage = List.filteri (fun i _ -> i < 3) coverage in
+         let report = Coverage.rfn_analysis ~config:(config 10.0) c ~coverage in
+         let exact = exact_reachable_codes c coverage in
+         let ok = ref true in
+         Array.iteri
+           (fun code status ->
+             match status with
+             | Coverage.Unreachable ->
+               if Hashtbl.mem exact code then ok := false
+             | Coverage.Reachable ->
+               if not (Hashtbl.mem exact code) then ok := false
+             | Coverage.Unknown -> ())
+           report.Coverage.status;
+         !ok))
+
+let bfs_sound_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40 ~name:"bfs verdicts sound (random)"
+       (Helpers.arbitrary_circuit ~nins:2 ~nregs:4 ~ngates:10)
+       (fun rc ->
+         let c = rc.Helpers.circuit in
+         let coverage = Array.to_list c.Circuit.registers in
+         let coverage = List.filteri (fun i _ -> i < 3) coverage in
+         let report = Coverage.bfs_analysis ~k:2 c ~coverage in
+         let exact = exact_reachable_codes c coverage in
+         let ok = ref true in
+         Array.iteri
+           (fun code status ->
+             if status = Coverage.Unreachable && Hashtbl.mem exact code then
+               ok := false)
+           report.Coverage.status;
+         !ok))
+
+let test_rfn_at_least_bfs =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25 ~name:"rfn finds at least as many as bfs"
+       (Helpers.arbitrary_circuit ~nins:2 ~nregs:4 ~ngates:10)
+       (fun rc ->
+         let c = rc.Helpers.circuit in
+         let coverage = Array.to_list c.Circuit.registers in
+         let coverage = List.filteri (fun i _ -> i < 3) coverage in
+         let rfn = Coverage.rfn_analysis ~config:(config 10.0) c ~coverage in
+         let bfs = Coverage.bfs_analysis ~k:2 c ~coverage in
+         rfn.Coverage.unreachable >= bfs.Coverage.unreachable))
+
+let test_state_code () =
+  let code = Coverage.state_code ~coverage:[ 10; 20; 30 ] (fun s -> s = 20) in
+  Alcotest.(check int) "bit 1 set" 2 code;
+  let code = Coverage.state_code ~coverage:[ 10; 20; 30 ] (fun _ -> true) in
+  Alcotest.(check int) "all set" 7 code
+
+let test_validation () =
+  let c, coverage = ring_design () in
+  (try
+     ignore (Coverage.rfn_analysis c ~coverage:[]);
+     Alcotest.fail "empty coverage rejected"
+   with Invalid_argument _ -> ());
+  let inp = Circuit.find c "advance" in
+  try
+    ignore (Coverage.rfn_analysis c ~coverage:(inp :: coverage));
+    Alcotest.fail "non-register coverage rejected"
+  with Invalid_argument _ -> ()
+
+let tests =
+  [
+    Alcotest.test_case "one-hot ring, exact" `Quick test_ring_exact;
+    Alcotest.test_case "bfs on the ring" `Quick test_bfs_ring;
+    coverage_sound_random;
+    bfs_sound_random;
+    test_rfn_at_least_bfs;
+    Alcotest.test_case "state_code" `Quick test_state_code;
+    Alcotest.test_case "argument validation" `Quick test_validation;
+  ]
+
+let () = Alcotest.run "coverage" [ ("coverage", tests) ]

@@ -1,0 +1,233 @@
+(* The design zoo: structural profiles (COI sizes matching Table 1/2)
+   and functional sanity on small instances. *)
+
+open Rfn_circuit
+module Rfn = Rfn_core.Rfn
+module Sim3v = Rfn_sim3v.Sim3v
+
+let quick_config =
+  {
+    Rfn.default_config with
+    Rfn.max_iterations = 40;
+    node_limit = 500_000;
+    mc_max_steps = 300;
+  }
+
+(* ---- FIFO ---------------------------------------------------------- *)
+
+let test_fifo_coi_profile () =
+  let fifo = Rfn_designs.Fifo.make () in
+  let c = fifo.Rfn_designs.Fifo.circuit in
+  List.iter
+    (fun (p : Property.t) ->
+      let coi = Coi.compute c ~roots:(Property.roots p) in
+      Alcotest.(check int)
+        (p.Property.name ^ " COI regs (paper: 135)")
+        135 (Coi.num_regs coi))
+    [ fifo.psh_hf; fifo.psh_af; fifo.psh_full ]
+
+let test_fifo_properties_hold_small () =
+  let fifo = Rfn_designs.Fifo.(make ~params:small ()) in
+  let c = fifo.Rfn_designs.Fifo.circuit in
+  List.iter
+    (fun (p : Property.t) ->
+      match Rfn.verify ~config:quick_config c p with
+      | Rfn.Proved, _ -> ()
+      | Rfn.Falsified _, _ -> Alcotest.fail (p.Property.name ^ " falsified!")
+      | Rfn.Aborted why, _ ->
+        Alcotest.fail (p.Property.name ^ " aborted: " ^ why))
+    [ fifo.psh_hf; fifo.psh_af; fifo.psh_full ]
+
+let test_fifo_random_simulation_no_violation () =
+  (* 2,000 random cycles never assert a watchdog on the full design *)
+  let fifo = Rfn_designs.Fifo.make () in
+  let c = fifo.Rfn_designs.Fifo.circuit in
+  let view = Sview.whole c ~roots:[] in
+  let seed = ref 42 in
+  let rand () =
+    seed := (!seed * 1103515245) + 12345;
+    !seed lsr 16 land 1 = 1
+  in
+  let state = ref (fun r ->
+      Sim3v.of_bool (Circuit.initial_state c ~free:(fun _ -> false) r))
+  in
+  let bads =
+    List.map
+      (fun (p : Property.t) -> p.Property.bad)
+      [ fifo.psh_hf; fifo.psh_af; fifo.psh_full ]
+  in
+  for _ = 1 to 2000 do
+    let values, next =
+      Sim3v.step view ~free:(fun _ -> Sim3v.of_bool (rand ())) ~state:!state
+    in
+    List.iter
+      (fun bad ->
+        if values.(bad) = Sim3v.V1 then Alcotest.fail "watchdog fired")
+      bads;
+    state := next
+  done
+
+(* ---- processor ------------------------------------------------------ *)
+
+let test_processor_coi_profile () =
+  let proc = Rfn_designs.Processor.make () in
+  let c = proc.Rfn_designs.Processor.circuit in
+  let coi_m = Coi.compute c ~roots:(Property.roots proc.mutex) in
+  let coi_e = Coi.compute c ~roots:(Property.roots proc.error_flag) in
+  Alcotest.(check int) "mutex COI regs (paper: 4,982)" 4982
+    (Coi.num_regs coi_m);
+  Alcotest.(check int) "error_flag COI regs (paper: 4,986)" 4986
+    (Coi.num_regs coi_e);
+  Alcotest.(check bool) "COI gates within 10% of paper's 111,151" true
+    (let g = Coi.num_gates coi_m in
+     g > 100_000 && g < 122_000)
+
+let test_processor_small_verdicts () =
+  let proc = Rfn_designs.Processor.(make ~params:small ()) in
+  let c = proc.Rfn_designs.Processor.circuit in
+  (match Rfn.verify ~config:quick_config c proc.mutex with
+  | Rfn.Proved, stats ->
+    Alcotest.(check bool) "small abstract model" true
+      (stats.Rfn.final_abstract_regs < 30)
+  | _ -> Alcotest.fail "mutex should be proved");
+  match Rfn.verify ~config:quick_config c proc.error_flag with
+  | Rfn.Falsified t, _ ->
+    Alcotest.(check bool) "trace validates" true
+      (Sim3v.replay_concrete c t ~bad:proc.error_flag.Property.bad)
+  | _ -> Alcotest.fail "error_flag should be falsified"
+
+let test_processor_bug_depth () =
+  (* the planted bug needs at least bug_threshold+4 cycles: 3 retries,
+     one arming flush, threshold+1 grants *)
+  let params =
+    { Rfn_designs.Processor.small with Rfn_designs.Processor.bug_threshold = 2 }
+  in
+  let proc = Rfn_designs.Processor.(make ~params ()) in
+  match Rfn.verify ~config:quick_config proc.circuit proc.error_flag with
+  | Rfn.Falsified t, _ ->
+    Alcotest.(check bool) "trace at least threshold+4 cycles" true
+      (Rfn_circuit.Trace.length t - 1 >= 2 + 4)
+  | _ -> Alcotest.fail "expected Falsified"
+
+(* ---- picoJava IU / USB --------------------------------------------- *)
+
+let test_iu_coverage_sets_well_formed () =
+  let iu = Rfn_designs.Picojava_iu.make () in
+  let c = iu.Rfn_designs.Picojava_iu.circuit in
+  Alcotest.(check int) "five sets" 5 (List.length iu.coverage_sets);
+  List.iter
+    (fun (name, set) ->
+      Alcotest.(check int) (name ^ " has ten signals") 10 (List.length set);
+      Alcotest.(check int)
+        (name ^ " signals distinct")
+        10
+        (List.length (List.sort_uniq compare set));
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) (name ^ " signal is a register") true
+            (Circuit.is_reg c s))
+        set)
+    iu.coverage_sets
+
+let test_iu_cois_coincide () =
+  (* the paper's observation: all five sets share one COI *)
+  let iu = Rfn_designs.Picojava_iu.make () in
+  let c = iu.Rfn_designs.Picojava_iu.circuit in
+  let sizes =
+    List.map
+      (fun (_, set) ->
+        let coi = Coi.compute c ~roots:set in
+        (Coi.num_regs coi, Coi.num_gates coi))
+      iu.coverage_sets
+  in
+  match sizes with
+  | first :: rest ->
+    List.iter
+      (fun s -> Alcotest.(check (pair int int)) "identical COI" first s)
+      rest
+  | [] -> Alcotest.fail "no sets"
+
+let test_usb_sets () =
+  let usb = Rfn_designs.Usb.make () in
+  let c = usb.Rfn_designs.Usb.circuit in
+  let s1 = List.assoc "USB1" usb.coverage_sets in
+  let s2 = List.assoc "USB2" usb.coverage_sets in
+  Alcotest.(check int) "USB1 six signals" 6 (List.length s1);
+  Alcotest.(check int) "USB2 twenty-one signals" 21 (List.length s2);
+  List.iter
+    (fun s -> Alcotest.(check bool) "register" true (Circuit.is_reg c s))
+    (s1 @ s2)
+
+let test_usb_one_hot_invariant () =
+  (* random simulation: the receive FSM stays one-hot *)
+  let usb = Rfn_designs.Usb.make () in
+  let c = usb.Rfn_designs.Usb.circuit in
+  let fsm = List.assoc "USB1" usb.coverage_sets in
+  let view = Sview.whole c ~roots:[] in
+  let seed = ref 7 in
+  let rand () =
+    seed := (!seed * 1103515245) + 12345;
+    !seed lsr 16 land 3 = 1
+  in
+  let state =
+    ref (fun r ->
+        Sim3v.of_bool (Circuit.initial_state c ~free:(fun _ -> false) r))
+  in
+  for _ = 1 to 500 do
+    let _, next =
+      Sim3v.step view ~free:(fun _ -> Sim3v.of_bool (rand ())) ~state:!state
+    in
+    state := next;
+    let ones =
+      List.fold_left
+        (fun acc s -> if !state s = Sim3v.V1 then acc + 1 else acc)
+        0 fsm
+    in
+    Alcotest.(check bool) "at most one FSM bit of the six" true (ones <= 1)
+  done
+
+let test_small_designs_brute_force_mutex () =
+  (* tiniest processor instance has too many registers for brute force,
+     but the arbiter invariant can be cross-checked by random simulation:
+     grants stay one-hot over thousands of cycles *)
+  let proc = Rfn_designs.Processor.(make ~params:small ()) in
+  let c = proc.Rfn_designs.Processor.circuit in
+  let bad = proc.mutex.Property.bad in
+  let view = Sview.whole c ~roots:[ bad ] in
+  let seed = ref 99 in
+  let rand () =
+    seed := (!seed * 1103515245) + 12345;
+    !seed lsr 16 land 1 = 1
+  in
+  let state =
+    ref (fun r ->
+        Sim3v.of_bool (Circuit.initial_state c ~free:(fun _ -> false) r))
+  in
+  for _ = 1 to 3000 do
+    let values, next =
+      Sim3v.step view ~free:(fun _ -> Sim3v.of_bool (rand ())) ~state:!state
+    in
+    if values.(bad) = Sim3v.V1 then Alcotest.fail "mutex violated in simulation";
+    state := next
+  done
+
+let tests =
+  [
+    Alcotest.test_case "fifo COI profile" `Quick test_fifo_coi_profile;
+    Alcotest.test_case "fifo properties hold (small)" `Quick
+      test_fifo_properties_hold_small;
+    Alcotest.test_case "fifo random simulation clean" `Quick
+      test_fifo_random_simulation_no_violation;
+    Alcotest.test_case "processor COI profile" `Quick test_processor_coi_profile;
+    Alcotest.test_case "processor verdicts (small)" `Quick
+      test_processor_small_verdicts;
+    Alcotest.test_case "processor bug depth" `Quick test_processor_bug_depth;
+    Alcotest.test_case "IU coverage sets" `Quick test_iu_coverage_sets_well_formed;
+    Alcotest.test_case "IU COIs coincide" `Quick test_iu_cois_coincide;
+    Alcotest.test_case "USB coverage sets" `Quick test_usb_sets;
+    Alcotest.test_case "USB FSM one-hot" `Quick test_usb_one_hot_invariant;
+    Alcotest.test_case "processor mutex in simulation" `Quick
+      test_small_designs_brute_force_mutex;
+  ]
+
+let () = Alcotest.run "designs" [ ("designs", tests) ]

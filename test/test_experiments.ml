@@ -1,0 +1,111 @@
+(* The reproduction drivers themselves, exercised on the scaled-down
+   designs: verdict shapes must match the paper's (Table 1 results,
+   Table 2's "RFN >= BFS", the guidance win) regardless of sizes. *)
+
+module E = Rfn_experiments.Experiments
+
+let find rows property =
+  List.find (fun r -> r.E.Table1.property = property) rows
+
+let test_table1_shape () =
+  let rows = E.Table1.run ~small:true ~baseline:false () in
+  Alcotest.(check int) "five rows" 5 (List.length rows);
+  List.iter
+    (fun (p, expected) ->
+      let r = find rows p in
+      Alcotest.(check string) (p ^ " verdict") expected r.E.Table1.result;
+      Alcotest.(check bool)
+        (p ^ " abstract model smaller than COI")
+        true
+        (r.E.Table1.abstract_regs < r.E.Table1.coi_regs))
+    [
+      ("mutex", "T");
+      ("error_flag", "F");
+      ("psh_hf", "T");
+      ("psh_af", "T");
+      ("psh_full", "T");
+    ];
+  let ef = find rows "error_flag" in
+  Alcotest.(check bool) "error trace recorded" true
+    (ef.E.Table1.trace_cycles <> None)
+
+let test_table2_shape () =
+  let rows = E.Table2.run ~small:true ~budget:3.0 ~bfs_k:10 () in
+  Alcotest.(check int) "seven rows" 7 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.E.Table2.set ^ ": RFN >= BFS")
+        true
+        (r.E.Table2.rfn_unreachable >= r.E.Table2.bfs_unreachable))
+    rows;
+  (* the IU sets share one COI *)
+  let iu =
+    List.filter (fun r -> String.length r.E.Table2.set >= 2
+                          && String.sub r.E.Table2.set 0 2 = "IU") rows
+  in
+  (match iu with
+  | first :: rest ->
+    List.iter
+      (fun r ->
+        Alcotest.(check int) "identical COI regs" first.E.Table2.coi_regs
+          r.E.Table2.coi_regs)
+      rest
+  | [] -> Alcotest.fail "no IU rows")
+
+let test_figure1_shape () =
+  let rows = E.Figure1.run ~small:true () in
+  Alcotest.(check bool) "rows produced" true (rows <> []);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "cut never exceeds model inputs" true
+        (r.E.Figure1.cut_size <= r.E.Figure1.model_inputs);
+      Alcotest.(check bool) "some backward steps recorded" true
+        (r.E.Figure1.no_cut_steps + r.E.Figure1.min_cut_steps >= 1))
+    rows
+
+let test_guidance_shape () =
+  let rows = E.Guidance.run ~small:true () in
+  (* only error_flag is falsifiable among the five *)
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  let r = List.hd rows in
+  Alcotest.(check bool) "guided search succeeds" true r.E.Guidance.guided_found;
+  Alcotest.(check bool) "guided effort <= unguided effort" true
+    (r.E.Guidance.guided_backtracks <= r.E.Guidance.unguided_backtracks)
+
+let test_refinement_shape () =
+  let rows = E.Refinement.run ~small:true () in
+  Alcotest.(check bool) "rows produced" true (rows <> []);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "kept <= candidates" true
+        (r.E.Refinement.added <= r.E.Refinement.candidates);
+      Alcotest.(check bool) "kept at least one" true (r.E.Refinement.added >= 1))
+    rows
+
+let test_subsetting_shape () =
+  let rows = E.Subsetting.run ~small:true () in
+  Alcotest.(check bool) "rows produced" true (rows <> []);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "subset within budget" true
+        (r.E.Subsetting.subset_size
+        <= max 10 (r.E.Subsetting.original_size / 10) + 2);
+      Alcotest.(check bool) "retention is a fraction" true
+        (r.E.Subsetting.density_retained >= 0.0
+        && r.E.Subsetting.density_retained <= 1.0 +. 1e-9))
+    rows
+
+let tests =
+  [
+    Alcotest.test_case "table 1 shape" `Quick test_table1_shape;
+    Alcotest.test_case "table 2 shape" `Quick test_table2_shape;
+    Alcotest.test_case "figure 1 shape" `Quick test_figure1_shape;
+    Alcotest.test_case "guidance ablation shape" `Quick test_guidance_shape;
+    Alcotest.test_case "refinement ablation shape" `Quick
+      test_refinement_shape;
+    Alcotest.test_case "subsetting ablation shape" `Quick
+      test_subsetting_shape;
+  ]
+
+let () = Alcotest.run "experiments" [ ("experiments", tests) ]

@@ -1,0 +1,213 @@
+(* Model-based testing of the FIFO design: thousands of random
+   push/pop cycles simulated concretely and checked, cycle by cycle,
+   against an OCaml queue reference model — occupancy, flags, pointers
+   and data contents all have to agree. This validates the design the
+   Table 1 properties run on, independently of the verification
+   engines. *)
+
+open Rfn_circuit
+module Sim3v = Rfn_sim3v.Sim3v
+
+type harness = {
+  circuit : Circuit.t;
+  view : Sview.t;
+  push : int;
+  pop : int;
+  din : int array;
+  count : int array;
+  head : int array;
+  tail : int array;
+  hf : int;
+  af : int;
+  full : int;
+  empty : int;
+  data : int array array;
+  valid : int array;
+  bads : int list;
+  depth : int;
+  width : int;
+  af_slack : int;
+}
+
+let make_harness params =
+  let fifo = Rfn_designs.Fifo.(make ~params ()) in
+  let c = fifo.Rfn_designs.Fifo.circuit in
+  let f = Circuit.find c in
+  let word name w = Array.init w (fun i -> f (Printf.sprintf "%s_%d" name i)) in
+  let depth = 1 lsl params.Rfn_designs.Fifo.depth_log2 in
+  {
+    circuit = c;
+    view = Sview.whole c ~roots:[];
+    push = f "push";
+    pop = f "pop";
+    din = word "din" params.Rfn_designs.Fifo.data_width;
+    count = word "count" (params.Rfn_designs.Fifo.depth_log2 + 1);
+    head = word "head" params.Rfn_designs.Fifo.depth_log2;
+    tail = word "tail" params.Rfn_designs.Fifo.depth_log2;
+    hf = f "hf_flag";
+    af = f "af_flag";
+    full = f "full_flag";
+    empty = f "empty_flag";
+    data =
+      Array.init depth (fun i ->
+          word (Printf.sprintf "data_%d" i) params.Rfn_designs.Fifo.data_width);
+    valid = Array.init depth (fun i -> f (Printf.sprintf "valid_%d" i));
+    bads =
+      [
+        fifo.psh_hf.Property.bad;
+        fifo.psh_af.Property.bad;
+        fifo.psh_full.Property.bad;
+      ];
+    depth;
+    width = params.Rfn_designs.Fifo.data_width;
+    af_slack = params.Rfn_designs.Fifo.almost_full_slack;
+  }
+
+let decode st word =
+  Array.to_list word
+  |> List.mapi (fun i s -> match st s with Sim3v.V1 -> 1 lsl i | _ -> 0)
+  |> List.fold_left ( + ) 0
+
+let run_against_model params ~cycles ~seed =
+  let h = make_harness params in
+  let rng = ref seed in
+  let rand bound =
+    rng := (!rng * 1103515245) + 12345;
+    (!rng lsr 16) mod bound
+  in
+  let state =
+    ref (fun r ->
+        Sim3v.of_bool (Circuit.initial_state h.circuit ~free:(fun _ -> false) r))
+  in
+  (* the reference model *)
+  let q : int Queue.t = Queue.create () in
+  for cycle = 1 to cycles do
+    let push_v = rand 2 = 1 and pop_v = rand 2 = 1 in
+    let din_v = rand (1 lsl h.width) in
+    let free s =
+      if s = h.push then Sim3v.of_bool push_v
+      else if s = h.pop then Sim3v.of_bool pop_v
+      else
+        (* din bit *)
+        let rec bit i =
+          if i >= h.width then Sim3v.V0
+          else if h.din.(i) = s then Sim3v.of_bool (din_v land (1 lsl i) <> 0)
+          else bit (i + 1)
+        in
+        bit 0
+    in
+    let values, next = Sim3v.step h.view ~free ~state:!state in
+    List.iter
+      (fun bad ->
+        if values.(bad) = Sim3v.V1 then
+          Alcotest.failf "watchdog fired at cycle %d" cycle)
+      h.bads;
+    (* model transition *)
+    let accept_push = push_v && Queue.length q < h.depth in
+    let accept_pop = pop_v && Queue.length q > 0 in
+    let popped = if accept_pop then Some (Queue.pop q) else None in
+    ignore popped;
+    if accept_push then Queue.add din_v q;
+    state := next;
+    let st = !state in
+    (* occupancy, flags *)
+    let len = Queue.length q in
+    Alcotest.(check int)
+      (Printf.sprintf "count at cycle %d" cycle)
+      len (decode st h.count);
+    let flag s = st s = Sim3v.V1 in
+    Alcotest.(check bool) "hf flag" (len >= h.depth / 2) (flag h.hf);
+    Alcotest.(check bool) "af flag" (len >= h.depth - h.af_slack) (flag h.af);
+    Alcotest.(check bool) "full flag" (len = h.depth) (flag h.full);
+    Alcotest.(check bool) "empty flag" (len = 0) (flag h.empty);
+    (* pointer distance equals occupancy *)
+    let head_v = decode st h.head and tail_v = decode st h.tail in
+    Alcotest.(check int) "tail - head = count (mod depth)"
+      (len mod h.depth)
+      ((tail_v - head_v + h.depth) mod h.depth);
+    (* queue contents match the data store from head onward *)
+    List.iteri
+      (fun offset expected ->
+        let slot = (head_v + offset) mod h.depth in
+        Alcotest.(check bool)
+          (Printf.sprintf "slot %d valid" slot)
+          true
+          (st h.valid.(slot) = Sim3v.V1);
+        Alcotest.(check int)
+          (Printf.sprintf "slot %d data" slot)
+          expected
+          (decode st h.data.(slot)))
+      (List.of_seq (Queue.to_seq q))
+  done
+
+let test_default_params () =
+  run_against_model Rfn_designs.Fifo.default ~cycles:2000 ~seed:1234
+
+let test_small_params () =
+  run_against_model Rfn_designs.Fifo.small ~cycles:2000 ~seed:99
+
+let test_adversarial_full_pressure () =
+  (* always push, never pop: must saturate cleanly at depth *)
+  let params = Rfn_designs.Fifo.default in
+  let h = make_harness params in
+  let state =
+    ref (fun r ->
+        Sim3v.of_bool (Circuit.initial_state h.circuit ~free:(fun _ -> false) r))
+  in
+  for _ = 1 to 2 * h.depth do
+    let free s =
+      if s = h.push then Sim3v.V1
+      else if s = h.pop then Sim3v.V0
+      else Sim3v.V1 (* din all ones *)
+    in
+    let values, next = Sim3v.step h.view ~free ~state:!state in
+    List.iter
+      (fun bad ->
+        if values.(bad) = Sim3v.V1 then Alcotest.fail "watchdog fired")
+      h.bads;
+    state := next
+  done;
+  let st = !state in
+  Alcotest.(check int) "saturated" h.depth (decode st h.count);
+  Alcotest.(check bool) "full flag" true (st h.full = Sim3v.V1);
+  Alcotest.(check bool) "af flag" true (st h.af = Sim3v.V1);
+  Alcotest.(check bool) "hf flag" true (st h.hf = Sim3v.V1)
+
+let test_drain_to_empty () =
+  let params = Rfn_designs.Fifo.default in
+  let h = make_harness params in
+  let state =
+    ref (fun r ->
+        Sim3v.of_bool (Circuit.initial_state h.circuit ~free:(fun _ -> false) r))
+  in
+  let step push_v pop_v =
+    let free s =
+      if s = h.push then Sim3v.of_bool push_v
+      else if s = h.pop then Sim3v.of_bool pop_v
+      else Sim3v.V0
+    in
+    let _, next = Sim3v.step h.view ~free ~state:!state in
+    state := next
+  in
+  for _ = 1 to 5 do
+    step true false
+  done;
+  for _ = 1 to 10 do
+    step false true
+  done;
+  let st = !state in
+  Alcotest.(check int) "drained" 0 (decode st h.count);
+  Alcotest.(check bool) "empty flag" true (st h.empty = Sim3v.V1)
+
+let tests =
+  [
+    Alcotest.test_case "2000 random cycles vs queue model (default)" `Quick
+      test_default_params;
+    Alcotest.test_case "2000 random cycles vs queue model (small)" `Quick
+      test_small_params;
+    Alcotest.test_case "full-pressure saturation" `Quick
+      test_adversarial_full_pressure;
+    Alcotest.test_case "drain to empty" `Quick test_drain_to_empty;
+  ]
+
+let () = Alcotest.run "fifo-model" [ ("fifo-model", tests) ]

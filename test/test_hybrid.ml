@@ -1,0 +1,136 @@
+(* The BDD-ATPG hybrid trace extractor: abstract error traces must be
+   genuine traces of the abstract model ending in the target. *)
+
+open Rfn_circuit
+module Bdd = Rfn_bdd.Bdd
+module Varmap = Rfn_mc.Varmap
+module Symbolic = Rfn_mc.Symbolic
+module Image = Rfn_mc.Image
+module Reach = Rfn_mc.Reach
+module Hybrid = Rfn_core.Hybrid
+module Sim3v = Rfn_sim3v.Sim3v
+
+(* Replay a (partial) abstract trace on the abstract model itself with
+   3-valued simulation: trace values forced, everything else X. If the
+   simulated concrete values ever conflict with the trace, the trace is
+   bogus. *)
+let trace_consistent_on_view view trace =
+  let k = Trace.length trace in
+  let ok = ref true in
+  let state_of j fallback r =
+    match Cube.value (Trace.state trace j) r with
+    | Some b -> Sim3v.of_bool b
+    | None -> fallback r
+  in
+  let state = ref (state_of 0 (fun _ -> Sim3v.VX)) in
+  for j = 0 to k - 2 do
+    let free s =
+      match Cube.value (Trace.input trace j) s with
+      | Some b -> Sim3v.of_bool b
+      | None -> Sim3v.VX
+    in
+    let _, next = Sim3v.step view ~free ~state:!state in
+    List.iter
+      (fun (r, b) ->
+        if Sim3v.conflicts (next r) (Sim3v.of_bool b) then ok := false)
+      (Cube.to_list (Trace.state trace (j + 1)));
+    state := state_of (j + 1) next
+  done;
+  !ok
+
+let run_reach_and_extract circuit bad =
+  let abs = Abstraction.initial circuit ~roots:[ bad ] in
+  (* refine everything in: abstract model = whole design, so the trace
+     is exact and fully checkable *)
+  let abs =
+    Abstraction.refine abs ~add:(Array.to_list circuit.Circuit.registers)
+  in
+  let view = abs.Abstraction.view in
+  let vm = Varmap.make view in
+  let fn = Symbolic.functions vm in
+  let img = Image.make vm in
+  let init = Symbolic.initial_states vm in
+  let bad_states = Reach.bad_predicate vm ~fn ~bad in
+  let res = Reach.run ~max_steps:200 img ~vm ~init ~bad_states in
+  match res.Reach.outcome with
+  | Reach.Reached k ->
+    Some (view, Hybrid.extract vm ~rings:res.Reach.rings ~target:(fn bad) ~k, k)
+  | _ -> None
+
+let test_counter_trace () =
+  let c = Helpers.counter_design ~width:3 ~limit:5 in
+  let bad = Circuit.output c "at_limit" in
+  match run_reach_and_extract c bad with
+  | None -> Alcotest.fail "expected the counter to reach its limit"
+  | Some (view, result, k) ->
+    let t = result.Hybrid.trace in
+    Alcotest.(check int) "trace has k+1 states" (k + 1) (Trace.length t);
+    Alcotest.(check int) "limit 5 reached at step 5" 5 k;
+    Alcotest.(check bool) "consistent on the model" true
+      (trace_consistent_on_view view t);
+    Alcotest.(check bool) "counts as a concrete counterexample" true
+      (Sim3v.replay_concrete c t ~bad);
+    Alcotest.(check int) "no-cut + min-cut = steps" k
+      (result.Hybrid.no_cut_steps + result.Hybrid.min_cut_steps)
+
+let test_trace_ends_in_target () =
+  let c = Helpers.deep_bug_design ~width:2 in
+  let bad = Circuit.output c "bad" in
+  match run_reach_and_extract c bad with
+  | None -> Alcotest.fail "expected the bug to be reachable"
+  | Some (_, result, k) ->
+    let t = result.Hybrid.trace in
+    (* the final state asserts the bad register *)
+    Alcotest.(check (option bool)) "bad register set at the end" (Some true)
+      (Cube.value (Trace.state t k) (Circuit.find c "bad_reg"));
+    Alcotest.(check bool) "replays concretely" true
+      (Sim3v.replay_concrete c t ~bad)
+
+let hybrid_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60
+       ~name:"hybrid traces replay on random circuits"
+       (Helpers.arbitrary_circuit ~nins:3 ~nregs:4 ~ngates:12)
+       (fun rc ->
+         let c = rc.Helpers.circuit in
+         match run_reach_and_extract c rc.Helpers.out with
+         | None -> QCheck.assume_fail () (* property holds; nothing to do *)
+         | Some (view, result, k) ->
+           let t = result.Hybrid.trace in
+           Trace.length t = k + 1
+           && trace_consistent_on_view view t
+           && Sim3v.replay_concrete c t ~bad:rc.Helpers.out))
+
+(* On an abstract model with pseudo-inputs: the trace must stay
+   consistent on the model (it need not replay on the full design —
+   that is exactly what Step 3/4 decide). *)
+let test_abstract_model_trace () =
+  let proc = Rfn_designs.Processor.(make ~params:small ()) in
+  let c = proc.Rfn_designs.Processor.circuit in
+  let bad = proc.error_flag.Property.bad in
+  let abs = Abstraction.initial c ~roots:[ bad ] in
+  let view = abs.Abstraction.view in
+  let vm = Varmap.make view in
+  let fn = Symbolic.functions vm in
+  let img = Image.make vm in
+  let init = Symbolic.initial_states vm in
+  let bad_states = Reach.bad_predicate vm ~fn ~bad in
+  let res = Reach.run ~max_steps:50 img ~vm ~init ~bad_states in
+  match res.Reach.outcome with
+  | Reach.Reached k ->
+    let result = Hybrid.extract vm ~rings:res.Reach.rings ~target:(fn bad) ~k in
+    Alcotest.(check bool) "consistent on the abstract model" true
+      (trace_consistent_on_view view result.Hybrid.trace);
+    Alcotest.(check bool) "cut is not larger than the model inputs" true
+      (result.Hybrid.cut_size <= result.Hybrid.model_inputs)
+  | _ -> Alcotest.fail "expected the initial abstraction to reach bad"
+
+let tests =
+  [
+    Alcotest.test_case "counter trace" `Quick test_counter_trace;
+    Alcotest.test_case "trace ends in target" `Quick test_trace_ends_in_target;
+    hybrid_random;
+    Alcotest.test_case "abstract-model trace" `Quick test_abstract_model_trace;
+  ]
+
+let () = Alcotest.run "hybrid" [ ("hybrid", tests) ]

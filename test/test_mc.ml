@@ -1,0 +1,341 @@
+(* The symbolic model checker: variable maps, cone construction, image
+   computation and reachability, validated against brute force. *)
+
+open Rfn_circuit
+module Bdd = Rfn_bdd.Bdd
+module Varmap = Rfn_mc.Varmap
+module Symbolic = Rfn_mc.Symbolic
+module Image = Rfn_mc.Image
+module Reach = Rfn_mc.Reach
+module Force = Rfn_bdd.Force
+
+let test_varmap_roles () =
+  let c = Helpers.arbiter_design () in
+  let bad = Circuit.output c "bad" in
+  let view = Sview.whole c ~roots:[ bad ] in
+  let vm = Varmap.make view in
+  Array.iter
+    (fun r ->
+      let cv = Varmap.cur_var vm r and nv = Varmap.nxt_var vm r in
+      Alcotest.(check bool) "next directly below current" true (nv = cv + 1);
+      (match Varmap.role vm cv with
+      | Varmap.Cur s -> Alcotest.(check int) "cur role" r s
+      | _ -> Alcotest.fail "expected Cur");
+      match Varmap.role vm nv with
+      | Varmap.Nxt s -> Alcotest.(check int) "nxt role" r s
+      | _ -> Alcotest.fail "expected Nxt")
+    view.Sview.regs;
+  Array.iter
+    (fun i ->
+      match Varmap.role vm (Varmap.inp_var vm i) with
+      | Varmap.Inp s -> Alcotest.(check int) "inp role" i s
+      | _ -> Alcotest.fail "expected Inp")
+    view.Sview.free_inputs;
+  Alcotest.(check int) "cur count" (Sview.num_regs view)
+    (List.length (Varmap.cur_vars vm));
+  Alcotest.(check int) "inp count"
+    (Sview.num_free_inputs view)
+    (List.length (Varmap.inp_vars vm))
+
+let test_add_input_vars () =
+  let c = Helpers.arbiter_design () in
+  let bad = Circuit.output c "bad" in
+  let vm = Varmap.make (Sview.whole c ~roots:[ bad ]) in
+  let internal = Circuit.find c "g0_reg" in
+  Alcotest.(check bool) "no var yet" false (Varmap.has_inp_var vm bad);
+  Varmap.add_input_vars vm [ bad ];
+  Alcotest.(check bool) "var added" true (Varmap.has_inp_var vm bad);
+  let v = Varmap.inp_var vm bad in
+  Varmap.add_input_vars vm [ bad ];
+  Alcotest.(check int) "idempotent" v (Varmap.inp_var vm bad);
+  ignore internal
+
+(* Cone functions agree with direct evaluation. *)
+let cones_agree =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"symbolic cones match evaluation"
+       (Helpers.arbitrary_circuit ~nins:3 ~nregs:3 ~ngates:12)
+       (fun rc ->
+         let c = rc.Helpers.circuit in
+         let view = Sview.whole c ~roots:[ rc.Helpers.out ] in
+         let vm = Varmap.make view in
+         let man = Varmap.man vm in
+         let fn = Symbolic.functions vm in
+         let ok = ref true in
+         for iv = 0 to 7 do
+           for sv = 0 to 7 do
+             let idx arr x =
+               let rec go i = if arr.(i) = x then i else go (i + 1) in
+               go 0
+             in
+             let input s = iv land (1 lsl idx c.Circuit.inputs s) <> 0 in
+             let state r = sv land (1 lsl idx c.Circuit.registers r) <> 0 in
+             let values = Circuit.eval c ~input ~state in
+             let env v =
+               match Varmap.role vm v with
+               | Varmap.Cur r -> state r
+               | Varmap.Inp i -> input i
+               | Varmap.Nxt _ -> false
+             in
+             if Bdd.eval man (fn rc.Helpers.out) env <> values.(rc.Helpers.out)
+             then ok := false
+           done
+         done;
+         !ok))
+
+(* Post-image equals one explicit transition step. *)
+let image_agrees =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"post-image = explicit step"
+       (Helpers.arbitrary_circuit ~nins:3 ~nregs:3 ~ngates:10)
+       (fun rc ->
+         let c = rc.Helpers.circuit in
+         let view = Sview.whole c ~roots:[ rc.Helpers.out ] in
+         let vm = Varmap.make view in
+         let man = Varmap.man vm in
+         let img = Image.make vm in
+         let regs = c.Circuit.registers and inputs = c.Circuit.inputs in
+         let idx arr x =
+           let rec go i = if arr.(i) = x then i else go (i + 1) in
+           go 0
+         in
+         (* random source set: states whose code is even *)
+         let source_codes =
+           List.filter (fun v -> v mod 2 = 0) (List.init 8 (fun i -> i))
+         in
+         let cube_of code =
+           Bdd.cube man
+             (Array.to_list regs
+             |> List.map (fun r ->
+                    (Varmap.cur_var vm r, code land (1 lsl idx regs r) <> 0)))
+         in
+         let source =
+           List.fold_left
+             (fun acc code -> Bdd.dor man acc (cube_of code))
+             (Bdd.zero man) source_codes
+         in
+         let post = Image.post img source in
+         (* explicit: all successors of the even-coded states *)
+         let expected = Hashtbl.create 16 in
+         List.iter
+           (fun code ->
+             for iv = 0 to 7 do
+               let input s = iv land (1 lsl idx inputs s) <> 0 in
+               let state r = code land (1 lsl idx regs r) <> 0 in
+               let _, next = Circuit.step c ~input ~state in
+               let code' =
+                 Array.fold_left
+                   (fun acc r ->
+                     if next r then acc lor (1 lsl idx regs r) else acc)
+                   0 regs
+               in
+               Hashtbl.replace expected code' ()
+             done)
+           source_codes;
+         let ok = ref true in
+         for code = 0 to 7 do
+           let env v =
+             match Varmap.role vm v with
+             | Varmap.Cur r -> code land (1 lsl idx regs r) <> 0
+             | _ -> false
+           in
+           if Bdd.eval man post env <> Hashtbl.mem expected code then
+             ok := false
+         done;
+         !ok))
+
+(* Pre-image by compose: x is in pre(T) iff some input leads x to T. *)
+let preimage_agrees =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"pre-image by compose = explicit"
+       (Helpers.arbitrary_circuit ~nins:3 ~nregs:3 ~ngates:10)
+       (fun rc ->
+         let c = rc.Helpers.circuit in
+         let view = Sview.whole c ~roots:[ rc.Helpers.out ] in
+         let vm = Varmap.make view in
+         let man = Varmap.man vm in
+         let fn = Symbolic.functions vm in
+         let regs = c.Circuit.registers and inputs = c.Circuit.inputs in
+         let idx arr x =
+           let rec go i = if arr.(i) = x then i else go (i + 1) in
+           go 0
+         in
+         (* target: states with register 0 set *)
+         let target = Bdd.var man (Varmap.cur_var vm regs.(0)) in
+         let pre = Image.pre_via_compose vm ~fn target in
+         (* pre is over cur vars and input vars; quantify inputs for a
+            state-level check *)
+         let pre_states = Bdd.exists man (Varmap.inp_vars vm) pre in
+         let ok = ref true in
+         for code = 0 to 7 do
+           let state r = code land (1 lsl idx regs r) <> 0 in
+           let expected = ref false in
+           for iv = 0 to 7 do
+             let input s = iv land (1 lsl idx inputs s) <> 0 in
+             let _, next = Circuit.step c ~input ~state in
+             if next regs.(0) then expected := true
+           done;
+           let env v =
+             match Varmap.role vm v with
+             | Varmap.Cur r -> state r
+             | _ -> false
+           in
+           if Bdd.eval man pre_states env <> !expected then ok := false
+         done;
+         !ok))
+
+(* Full reachability vs explicit-state search, including bad-state
+   detection at the right step. *)
+let reach_agrees =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:80 ~name:"reachability = explicit search"
+       (Helpers.arbitrary_circuit ~nins:3 ~nregs:4 ~ngates:12)
+       (fun rc ->
+         let c = rc.Helpers.circuit in
+         let view = Sview.whole c ~roots:[ rc.Helpers.out ] in
+         let vm = Varmap.make view in
+         let man = Varmap.man vm in
+         let fn = Symbolic.functions vm in
+         let img = Image.make vm in
+         let init = Symbolic.initial_states vm in
+         let bad_states = Reach.bad_predicate vm ~fn ~bad:rc.Helpers.out in
+         let res = Reach.run ~max_steps:64 img ~vm ~init ~bad_states in
+         let expected = Helpers.explicit_violates c ~bad:rc.Helpers.out in
+         match res.Reach.outcome with
+         | Reach.Proved ->
+           (not expected)
+           &&
+           (* the reached set must cover exactly the explicit one *)
+           let explicit = Helpers.explicit_reachable c in
+           let regs = c.Circuit.registers in
+           let idx x =
+             let rec go i = if regs.(i) = x then i else go (i + 1) in
+             go 0
+           in
+           let ok = ref true in
+           for code = 0 to (1 lsl Array.length regs) - 1 do
+             let env v =
+               match Varmap.role vm v with
+               | Varmap.Cur r -> code land (1 lsl idx r) <> 0
+               | _ -> false
+             in
+             if Bdd.eval man res.Reach.reached env <> Hashtbl.mem explicit code
+             then ok := false
+           done;
+           !ok
+         | Reach.Reached _ -> expected
+         | Reach.Closed _ | Reach.Aborted _ -> QCheck.assume_fail ()))
+
+(* Rings are disjoint and their union is the reached set. *)
+let rings_partition =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"rings partition the reached set"
+       (Helpers.arbitrary_circuit ~nins:2 ~nregs:4 ~ngates:10)
+       (fun rc ->
+         let c = rc.Helpers.circuit in
+         let view = Sview.whole c ~roots:[ rc.Helpers.out ] in
+         let vm = Varmap.make view in
+         let man = Varmap.man vm in
+         let img = Image.make vm in
+         let init = Symbolic.initial_states vm in
+         let res =
+           Reach.run ~max_steps:64 img ~vm ~init ~bad_states:(Bdd.zero man)
+         in
+         let union =
+           Array.fold_left (Bdd.dor man) (Bdd.zero man) res.Reach.rings
+         in
+         let disjoint = ref true in
+         Array.iteri
+           (fun i ri ->
+             Array.iteri
+               (fun j rj ->
+                 if i < j && not (Bdd.is_zero (Bdd.dand man ri rj)) then
+                   disjoint := false)
+               res.Reach.rings)
+           res.Reach.rings;
+         !disjoint && Bdd.equal union res.Reach.reached))
+
+let test_limits_abort () =
+  let c = Helpers.deep_bug_design ~width:4 in
+  let bad = Circuit.output c "bad" in
+  let view = Sview.whole c ~roots:[ bad ] in
+  let vm = Varmap.make ~node_limit:60 view in
+  (match
+     let fn = Symbolic.functions vm in
+     let img = Image.make vm in
+     let init = Symbolic.initial_states vm in
+     let bad_states = Reach.bad_predicate vm ~fn ~bad in
+     (Reach.run img ~vm ~init ~bad_states).Reach.outcome
+   with
+  | Reach.Aborted _ -> ()
+  | exception Bdd.Limit_exceeded -> ()
+  | _ -> Alcotest.fail "expected a node-limit abort");
+  (* step limit *)
+  let vm = Varmap.make view in
+  let fn = Symbolic.functions vm in
+  let img = Image.make vm in
+  let init = Symbolic.initial_states vm in
+  let bad_states = Reach.bad_predicate vm ~fn ~bad in
+  match (Reach.run ~max_steps:2 img ~vm ~init ~bad_states).Reach.outcome with
+  | Reach.Aborted "step limit" -> ()
+  | _ -> Alcotest.fail "expected step-limit abort"
+
+let test_stop_at_bad_false_closes () =
+  (* 2-bit counter, always enabled via constant: state 3 reached at
+     step 3, fixpoint closes at 4 states *)
+  let b = Circuit.Builder.create () in
+  let module B = Circuit.Builder in
+  let en = B.const b true in
+  let q = Rtl.counter b ~name:"q" ~width:2 ~enable:en () in
+  let top = B.and2 b q.(0) q.(1) in
+  B.output b "top" top;
+  let c = B.finalize b in
+  let view = Sview.whole c ~roots:[ top ] in
+  let vm = Varmap.make view in
+  let fn = Symbolic.functions vm in
+  let img = Image.make vm in
+  let init = Symbolic.initial_states vm in
+  let bad_states = Reach.bad_predicate vm ~fn ~bad:top in
+  let res = Reach.run ~stop_at_bad:false img ~vm ~init ~bad_states in
+  (match res.Reach.outcome with
+  | Reach.Closed 3 -> ()
+  | Reach.Closed k -> Alcotest.failf "closed at %d, expected 3" k
+  | _ -> Alcotest.fail "expected Closed");
+  Alcotest.(check int) "four rings" 4 (Array.length res.Reach.rings);
+  (* with the default stop_at_bad the run stops at the hit *)
+  let res = Reach.run img ~vm ~init ~bad_states in
+  match res.Reach.outcome with
+  | Reach.Reached 3 -> ()
+  | _ -> Alcotest.fail "expected Reached 3"
+
+let test_force_reduces_span () =
+  (* a chain hypergraph scrambled: FORCE should bring the span down to
+     near-minimal *)
+  let nvars = 16 in
+  let edges = List.init (nvars - 1) (fun i -> [ i; (i + 7) mod nvars ]) in
+  let identity = Array.init nvars (fun i -> i) in
+  let before = Force.span ~pos:identity ~edges in
+  let pos = Force.order ~nvars ~edges () in
+  let after = Force.span ~pos ~edges in
+  Alcotest.(check bool) "span not worse" true (after <= before);
+  (* result is a permutation *)
+  let seen = Array.make nvars false in
+  Array.iter (fun p -> seen.(p) <- true) pos;
+  Alcotest.(check bool) "permutation" true (Array.for_all (fun x -> x) seen)
+
+let tests =
+  [
+    Alcotest.test_case "varmap roles and interleaving" `Quick test_varmap_roles;
+    Alcotest.test_case "add_input_vars" `Quick test_add_input_vars;
+    cones_agree;
+    image_agrees;
+    preimage_agrees;
+    reach_agrees;
+    rings_partition;
+    Alcotest.test_case "resource limits abort" `Quick test_limits_abort;
+    Alcotest.test_case "stop_at_bad:false closes" `Quick
+      test_stop_at_bad_false_closes;
+    Alcotest.test_case "FORCE reduces span" `Quick test_force_reduces_span;
+  ]
+
+let () = Alcotest.run "mc" [ ("mc", tests) ]

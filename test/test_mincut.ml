@@ -1,0 +1,169 @@
+open Rfn_circuit
+module Flow = Rfn_mincut.Flow
+module Mincut = Rfn_mincut.Mincut
+
+(* ---- max-flow core ------------------------------------------------ *)
+
+let test_flow_simple_path () =
+  let g = Flow.create 4 in
+  Flow.add_edge g 0 1 3;
+  Flow.add_edge g 1 2 2;
+  Flow.add_edge g 2 3 5;
+  Alcotest.(check int) "bottleneck" 2 (Flow.max_flow g ~source:0 ~sink:3);
+  let reach = Flow.min_cut_reachable g ~source:0 in
+  Alcotest.(check bool) "source side" true reach.(0);
+  Alcotest.(check bool) "sink side" false reach.(3)
+
+let test_flow_parallel_paths () =
+  let g = Flow.create 6 in
+  Flow.add_edge g 0 1 1;
+  Flow.add_edge g 0 2 1;
+  Flow.add_edge g 1 3 1;
+  Flow.add_edge g 2 4 1;
+  Flow.add_edge g 3 5 1;
+  Flow.add_edge g 4 5 1;
+  Alcotest.(check int) "two disjoint paths" 2 (Flow.max_flow g ~source:0 ~sink:5)
+
+let test_flow_needs_augmenting_path_reversal () =
+  (* classic example where a greedy path must be partly undone *)
+  let g = Flow.create 4 in
+  Flow.add_edge g 0 1 1;
+  Flow.add_edge g 0 2 1;
+  Flow.add_edge g 1 2 1;
+  Flow.add_edge g 1 3 1;
+  Flow.add_edge g 2 3 1;
+  Alcotest.(check int) "flow 2" 2 (Flow.max_flow g ~source:0 ~sink:3)
+
+let test_flow_disconnected () =
+  let g = Flow.create 3 in
+  Flow.add_edge g 0 1 5;
+  Alcotest.(check int) "no path" 0 (Flow.max_flow g ~source:0 ~sink:2)
+
+(* Brute-force min edge cut on small graphs vs max flow. *)
+let flow_mincut_duality =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"max flow = min cut (unit edges)"
+       QCheck.(list_of_size (QCheck.Gen.int_range 1 12)
+                 (pair (int_bound 5) (int_bound 5)))
+       (fun edges ->
+         let edges =
+           List.filter (fun (u, v) -> u <> v) edges |> List.sort_uniq compare
+         in
+         QCheck.assume (edges <> []);
+         let g = Flow.create 6 in
+         List.iter (fun (u, v) -> Flow.add_edge g u v 1) edges;
+         let flow = Flow.max_flow g ~source:0 ~sink:5 in
+         (* brute force: try all subsets of edges as cuts *)
+         let n = List.length edges in
+         let arr = Array.of_list edges in
+         let connected removed =
+           let adj = Array.make 6 [] in
+           Array.iteri
+             (fun i (u, v) ->
+               if not (List.mem i removed) then adj.(u) <- v :: adj.(u))
+             arr;
+           let seen = Array.make 6 false in
+           let rec dfs u =
+             if not seen.(u) then begin
+               seen.(u) <- true;
+               List.iter dfs adj.(u)
+             end
+           in
+           dfs 0;
+           seen.(5)
+         in
+         let best = ref max_int in
+         for mask = 0 to (1 lsl n) - 1 do
+           let removed = ref [] in
+           for i = 0 to n - 1 do
+             if mask land (1 lsl i) <> 0 then removed := i :: !removed
+           done;
+           if (not (connected !removed)) && List.length !removed < !best then
+             best := List.length !removed
+         done;
+         flow = !best))
+
+(* ---- min-cut designs ---------------------------------------------- *)
+
+(* A model where the min cut is obviously 1: wide input logic funnels
+   through a single internal signal before reaching the register. *)
+let funnel_design width =
+  let b = Circuit.Builder.create () in
+  let module B = Circuit.Builder in
+  let ins = Array.init width (fun i -> B.input b (Printf.sprintf "i%d" i)) in
+  let funnel = B.gate b ~name:"funnel" Gate.And ins in
+  let r = B.reg b "r" in
+  B.connect b r (B.xor2 b funnel r);
+  B.output b "r" r;
+  (B.finalize b, funnel, r)
+
+let test_funnel_cut () =
+  let c, funnel, r = funnel_design 8 in
+  let view = Sview.whole c ~roots:[ r ] in
+  let result = Mincut.compute view in
+  Alcotest.(check (list int)) "cut at the funnel" [ funnel ]
+    result.Mincut.cut;
+  Alcotest.(check int) "mc has one free input" 1
+    (Sview.num_free_inputs result.Mincut.mc);
+  Alcotest.(check int) "mc keeps the registers" 1
+    (Sview.num_regs result.Mincut.mc)
+
+let test_cut_never_exceeds_inputs () =
+  let c = Helpers.arbiter_design () in
+  let bad = Circuit.output c "bad" in
+  let view = Sview.whole c ~roots:[ bad ] in
+  let result = Mincut.compute view in
+  Alcotest.(check bool) "cut <= free inputs" true
+    (List.length result.Mincut.cut <= Sview.num_free_inputs view)
+
+(* Validity on random circuits: the min-cut design is a well-formed
+   view (Sview.make validates), contains every register, and its cut
+   is no larger than the input count. *)
+let mincut_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"min-cut design well-formed and small"
+       (Helpers.arbitrary_circuit ~nins:4 ~nregs:4 ~ngates:14)
+       (fun rc ->
+         let c = rc.Helpers.circuit in
+         let view = Sview.whole c ~roots:[ rc.Helpers.out ] in
+         let result = Mincut.compute view in
+         let mc = result.Mincut.mc in
+         Sview.num_regs mc = Sview.num_regs view
+         && List.length result.Mincut.cut <= Sview.num_free_inputs view
+         && List.for_all (fun s -> Sview.is_free mc s) result.Mincut.cut))
+
+(* On abstractions: the paper's headline effect — far fewer inputs. *)
+let test_abstraction_cut_shrinks () =
+  let proc = Rfn_designs.Processor.(make ~params:small ()) in
+  let c = proc.Rfn_designs.Processor.circuit in
+  let bad = proc.error_flag.Property.bad in
+  let a = Abstraction.initial c ~roots:[ bad ] in
+  (* refine a few registers in so the model has real structure *)
+  let a =
+    Abstraction.refine a
+      ~add:
+        (List.filter (Circuit.is_reg c)
+           [ Circuit.find c "cnt_0"; Circuit.find c "cnt_1"; Circuit.find c "grant_0" ])
+  in
+  let result = Mincut.compute a.Abstraction.view in
+  Alcotest.(check bool) "cut smaller than model inputs" true
+    (List.length result.Mincut.cut
+    <= Sview.num_free_inputs a.Abstraction.view)
+
+let tests =
+  [
+    Alcotest.test_case "flow: simple path" `Quick test_flow_simple_path;
+    Alcotest.test_case "flow: parallel paths" `Quick test_flow_parallel_paths;
+    Alcotest.test_case "flow: reversal needed" `Quick
+      test_flow_needs_augmenting_path_reversal;
+    Alcotest.test_case "flow: disconnected" `Quick test_flow_disconnected;
+    flow_mincut_duality;
+    Alcotest.test_case "funnel cuts to one signal" `Quick test_funnel_cut;
+    Alcotest.test_case "cut bounded by inputs" `Quick
+      test_cut_never_exceeds_inputs;
+    mincut_random;
+    Alcotest.test_case "abstraction cut shrinks" `Quick
+      test_abstraction_cut_shrinks;
+  ]
+
+let () = Alcotest.run "mincut" [ ("mincut", tests) ]

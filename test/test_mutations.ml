@@ -1,0 +1,176 @@
+(* Mutation testing of the verifier: planting specific bugs into the
+   zoo designs must flip the verdicts. This guards against vacuous
+   proofs — a checker that proves everything would sail through the
+   positive tests. *)
+
+open Rfn_circuit
+module Rfn = Rfn_core.Rfn
+module Sim3v = Rfn_sim3v.Sim3v
+module B = Circuit.Builder
+
+let quick_config =
+  {
+    Rfn.default_config with
+    Rfn.max_iterations = 40;
+    node_limit = 500_000;
+    mc_max_steps = 300;
+  }
+
+let expect_falsified name circuit (prop : Property.t) =
+  match Rfn.verify ~config:quick_config circuit prop with
+  | Rfn.Falsified t, _ ->
+    Alcotest.(check bool) (name ^ ": trace replays") true
+      (Sim3v.replay_concrete circuit t ~bad:prop.Property.bad)
+  | Rfn.Proved, _ -> Alcotest.fail (name ^ ": mutant survived (proved)")
+  | Rfn.Aborted why, _ -> Alcotest.fail (name ^ ": aborted: " ^ why)
+
+(* A FIFO whose half-full flag is computed against the wrong threshold:
+   psh_hf must become falsifiable. Rebuilt from scratch rather than
+   mutated in place (circuits are immutable), with the single
+   constant changed. *)
+let broken_fifo_flag () =
+  let depth_log2 = 2 in
+  let depth = 1 lsl depth_log2 in
+  let cnt_w = depth_log2 + 1 in
+  let b = B.create () in
+  let push = B.input b "push" and pop = B.input b "pop" in
+  let head = Rtl.regs b "head" depth_log2 in
+  let tail = Rtl.regs b "tail" depth_log2 in
+  let count = Rtl.regs b "count" cnt_w in
+  let full_now = Rtl.eq_const b count depth in
+  let empty_now = Rtl.is_zero b count in
+  let accept_push = B.and2 b push (B.not_ b full_now) in
+  let accept_pop = B.and2 b pop (B.not_ b empty_now) in
+  let count' =
+    let inc = B.and2 b accept_push (B.not_ b accept_pop) in
+    let dec = B.and2 b accept_pop (B.not_ b accept_push) in
+    Rtl.mux b dec (Rtl.mux b inc count (Rtl.incr b count)) (Rtl.decr b count)
+  in
+  Rtl.connect b count count';
+  Rtl.connect b head (Rtl.mux b accept_pop head (Rtl.incr b head));
+  Rtl.connect b tail (Rtl.mux b accept_push tail (Rtl.incr b tail));
+  (* BUG: the flag register tracks count >= half+1 while the watchdog
+     checks against half *)
+  let hf_flag =
+    B.reg_of b "hf_flag" (Rtl.ge_const b count' ((depth / 2) + 1))
+  in
+  let violation =
+    B.and_l b [ accept_push; Rtl.ge_const b count (depth / 2); B.not_ b hf_flag ]
+  in
+  let wd = B.reg_of b "psh_hf" violation in
+  B.output b "psh_hf" wd;
+  B.finalize b
+
+let test_fifo_wrong_threshold () =
+  let c = broken_fifo_flag () in
+  expect_falsified "wrong hf threshold" c (Property.of_output c "psh_hf")
+
+(* An arbiter whose pointer initializes to two-hot: the one-hot
+   invariant RFN needs is broken from reset, so mutex must fail. *)
+let broken_arbiter () =
+  let b = B.create () in
+  let n = 3 in
+  let reqs = Array.init n (fun i -> B.input b (Printf.sprintf "req_%d" i)) in
+  let ptr =
+    Array.init n (fun i ->
+        (* BUG: positions 0 and 1 both start high *)
+        B.reg b ~init:(if i <= 1 then `One else `Zero) (Printf.sprintf "p_%d" i))
+  in
+  let grants =
+    Array.init n (fun i ->
+        let blockers =
+          List.init n (fun j ->
+              if j = i then B.const b true
+              else B.not_ b (B.and2 b ptr.(j) reqs.(j)))
+        in
+        ignore blockers;
+        B.and2 b reqs.(i) ptr.(i))
+  in
+  let any = B.or_l b (Array.to_list grants) in
+  let rotated = Array.init n (fun i -> ptr.((i + n - 1) mod n)) in
+  Array.iteri (fun i p -> B.connect b p (B.mux b any p rotated.(i))) ptr;
+  let g =
+    Array.mapi (fun i gnt -> B.reg_of b (Printf.sprintf "g%d" i) gnt) grants
+  in
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      pairs := B.and2 b g.(i) g.(j) :: !pairs
+    done
+  done;
+  B.output b "mutex" (B.or_l b !pairs);
+  B.finalize b
+
+let test_arbiter_two_hot_reset () =
+  let c = broken_arbiter () in
+  expect_falsified "two-hot pointer reset" c (Property.of_output c "mutex")
+
+(* The processor with the bug threshold set to 0: the "deep" bug
+   becomes shallow but must still be found, and the trace must respect
+   the arming sequence (>= 5 cycles even at threshold 0). *)
+let test_processor_shallow_bug () =
+  let params =
+    { Rfn_designs.Processor.small with Rfn_designs.Processor.bug_threshold = 0 }
+  in
+  let proc = Rfn_designs.Processor.(make ~params ()) in
+  match Rfn.verify ~config:quick_config proc.circuit proc.error_flag with
+  | Rfn.Falsified t, _ ->
+    Alcotest.(check bool) "arming still takes five cycles" true
+      (Trace.length t - 1 >= 5)
+  | _ -> Alcotest.fail "shallow mutant survived"
+
+(* Tightening a true property until it breaks: push_full with the
+   acceptance condition accidentally dropped (push alone writes). *)
+let broken_fifo_push_gate () =
+  let b = B.create () in
+  let push = B.input b "push" and pop = B.input b "pop" in
+  let count = Rtl.regs b "count" 3 in
+  let _full_now = Rtl.eq_const b count 4 in
+  let empty_now = Rtl.is_zero b count in
+  (* BUG: push is not gated by ~full *)
+  let accept_push = push in
+  let accept_pop = B.and2 b pop (B.not_ b empty_now) in
+  let count' =
+    let inc = B.and2 b accept_push (B.not_ b accept_pop) in
+    let dec = B.and2 b accept_pop (B.not_ b accept_push) in
+    Rtl.mux b dec (Rtl.mux b inc count (Rtl.incr b count)) (Rtl.decr b count)
+  in
+  Rtl.connect b count count';
+  let full_flag = B.reg_of b "full_flag" (Rtl.eq_const b count' 4) in
+  let wd =
+    B.reg_of b "psh_full" (B.and_l b [ push; full_flag; accept_push ])
+  in
+  B.output b "psh_full" wd;
+  B.finalize b
+
+let test_fifo_ungated_push () =
+  let c = broken_fifo_push_gate () in
+  expect_falsified "push not gated by full" c (Property.of_output c "psh_full")
+
+(* Sanity: the *unmutated* small designs still prove — the mutants
+   above fail for their bugs, not because the harness broke. *)
+let test_unmutated_controls () =
+  let fifo = Rfn_designs.Fifo.(make ~params:small ()) in
+  (match Rfn.verify ~config:quick_config fifo.circuit fifo.psh_hf with
+  | Rfn.Proved, _ -> ()
+  | _ -> Alcotest.fail "control psh_hf");
+  let proc = Rfn_designs.Processor.(make ~params:small ()) in
+  match Rfn.verify ~config:quick_config proc.circuit proc.mutex with
+  | Rfn.Proved, _ -> ()
+  | _ -> Alcotest.fail "control mutex"
+
+let tests =
+  [
+    Alcotest.test_case "fifo: wrong hf threshold caught" `Quick
+      test_fifo_wrong_threshold;
+    Alcotest.test_case "arbiter: two-hot reset caught" `Quick
+      test_arbiter_two_hot_reset;
+    Alcotest.test_case "processor: shallow bug caught" `Quick
+      test_processor_shallow_bug;
+    Alcotest.test_case "fifo: ungated push caught" `Quick
+      test_fifo_ungated_push;
+    Alcotest.test_case "unmutated controls still prove" `Quick
+      test_unmutated_controls;
+  ]
+
+let () = Alcotest.run "mutations" [ ("mutations", tests) ]

@@ -1,0 +1,145 @@
+open Rfn_circuit
+module Sim3v = Rfn_sim3v.Sim3v
+module B = Circuit.Builder
+
+let tv = Alcotest.testable Sim3v.pp ( = )
+
+let test_gate_semantics () =
+  let v b = Sim3v.of_bool b in
+  let check name kind args expected =
+    Alcotest.check tv name expected
+      (Sim3v.eval_gate kind
+         (fun i -> args.(i))
+         (Array.init (Array.length args) (fun i -> i)))
+  in
+  check "and with a 0 is 0" Gate.And [| Sim3v.VX; v false |] (v false);
+  check "and with all 1 is 1" Gate.And [| v true; v true |] (v true);
+  check "and with X is X" Gate.And [| v true; Sim3v.VX |] Sim3v.VX;
+  check "or with a 1 is 1" Gate.Or [| Sim3v.VX; v true |] (v true);
+  check "nor with a 1 is 0" Gate.Nor [| Sim3v.VX; v true |] (v false);
+  check "nand with a 0 is 1" Gate.Nand [| v false; Sim3v.VX |] (v true);
+  check "xor with X is X" Gate.Xor [| v true; Sim3v.VX |] Sim3v.VX;
+  check "xor concrete" Gate.Xor [| v true; v true; v true |] (v true);
+  check "xnor concrete" Gate.Xnor [| v true; v false |] (v false);
+  check "not X" Gate.Not [| Sim3v.VX |] Sim3v.VX;
+  check "buf" Gate.Buf [| v true |] (v true);
+  check "mux sel 0" Gate.Mux [| v false; v true; Sim3v.VX |] (v true);
+  check "mux sel 1" Gate.Mux [| v true; Sim3v.VX; v false |] (v false);
+  check "mux sel X same data" Gate.Mux [| Sim3v.VX; v true; v true |] (v true);
+  check "mux sel X diff data" Gate.Mux [| Sim3v.VX; v true; v false |] Sim3v.VX
+
+let test_conflicts () =
+  Alcotest.(check bool) "0 vs 1" true (Sim3v.conflicts Sim3v.V0 Sim3v.V1);
+  Alcotest.(check bool) "X vs 1" false (Sim3v.conflicts Sim3v.VX Sim3v.V1);
+  Alcotest.(check bool) "X vs X" false (Sim3v.conflicts Sim3v.VX Sim3v.VX);
+  Alcotest.(check bool) "0 vs 0" false (Sim3v.conflicts Sim3v.V0 Sim3v.V0)
+
+(* Concrete agreement: with fully concrete inputs/state, ternary
+   simulation equals Boolean evaluation on every signal. *)
+let concrete_agreement =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"concrete 3v sim = boolean eval"
+       (QCheck.pair
+          (Helpers.arbitrary_circuit ~nins:3 ~nregs:3 ~ngates:12)
+          (QCheck.pair (QCheck.int_bound 7) (QCheck.int_bound 7)))
+       (fun (rc, (iv, sv)) ->
+         let c = rc.Helpers.circuit in
+         let view = Sview.whole c ~roots:[ rc.Helpers.out ] in
+         let idx arr x =
+           let rec go i = if arr.(i) = x then i else go (i + 1) in
+           go 0
+         in
+         let input s = iv land (1 lsl idx c.Circuit.inputs s) <> 0 in
+         let state r = sv land (1 lsl idx c.Circuit.registers r) <> 0 in
+         let bools = Circuit.eval c ~input ~state in
+         let ternary =
+           Sim3v.eval view
+             ~free:(fun s -> Sim3v.of_bool (input s))
+             ~state:(fun r -> Sim3v.of_bool (state r))
+         in
+         Array.for_all
+           (fun s -> ternary.(s) = Sim3v.of_bool bools.(s))
+           (Array.init (Circuit.num_signals c) (fun i -> i))))
+
+(* X-monotonicity: making some inputs X can only move outputs toward X,
+   never flip a concrete value. *)
+let x_monotone =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"3v sim is X-monotone"
+       (QCheck.triple
+          (Helpers.arbitrary_circuit ~nins:4 ~nregs:3 ~ngates:12)
+          (QCheck.int_bound 15)
+          (QCheck.int_bound 15))
+       (fun (rc, iv, mask) ->
+         let c = rc.Helpers.circuit in
+         let view = Sview.whole c ~roots:[ rc.Helpers.out ] in
+         let idx arr x =
+           let rec go i = if arr.(i) = x then i else go (i + 1) in
+           go 0
+         in
+         let concrete s =
+           Sim3v.of_bool (iv land (1 lsl idx c.Circuit.inputs s) <> 0)
+         in
+         let blurred s =
+           if mask land (1 lsl idx c.Circuit.inputs s) <> 0 then Sim3v.VX
+           else concrete s
+         in
+         let state _ = Sim3v.V0 in
+         let full = Sim3v.eval view ~free:concrete ~state in
+         let part = Sim3v.eval view ~free:blurred ~state in
+         Array.for_all
+           (fun s -> part.(s) = Sim3v.VX || part.(s) = full.(s))
+           (Array.init (Circuit.num_signals c) (fun i -> i))))
+
+let test_run_counts_cycles () =
+  let b = B.create () in
+  let en = B.input b "en" in
+  let q = Rtl.counter b ~name:"q" ~width:3 ~enable:en () in
+  B.output b "q0" q.(0);
+  let c = B.finalize b in
+  let view = Sview.whole c ~roots:[ q.(0) ] in
+  let frames =
+    Sim3v.run view
+      ~init:(fun _ -> Sim3v.V0)
+      ~inputs:(fun ~cycle:_ _ -> Sim3v.V1)
+      ~cycles:3
+  in
+  Alcotest.(check int) "four frames" 4 (Array.length frames);
+  (* q after 3 enabled cycles: frame 3 sees q = 3 -> bit0 = 1, bit1 = 1 *)
+  Alcotest.check tv "bit0 at cycle 3" Sim3v.V1 frames.(3).(q.(0));
+  Alcotest.check tv "bit1 at cycle 3" Sim3v.V1 frames.(3).(q.(1));
+  Alcotest.check tv "bit2 at cycle 3" Sim3v.V0 frames.(3).(q.(2))
+
+let test_replay_concrete () =
+  (* counter_design: 3-bit counter reaching 7 with enable *)
+  let c = Helpers.counter_design ~width:3 ~limit:2 in
+  let bad = Circuit.output c "at_limit" in
+  let en = Circuit.find c "enable" in
+  let on = Cube.of_list [ (en, true) ] in
+  let good_trace =
+    Trace.make
+      ~states:[| Cube.empty; Cube.empty; Cube.empty |]
+      ~inputs:[| on; on |]
+  in
+  Alcotest.(check bool) "two enables reach limit 2" true
+    (Sim3v.replay_concrete c good_trace ~bad);
+  let off = Cube.of_list [ (en, false) ] in
+  let bad_trace =
+    Trace.make
+      ~states:[| Cube.empty; Cube.empty; Cube.empty |]
+      ~inputs:[| off; off |]
+  in
+  Alcotest.(check bool) "no enable, no violation" false
+    (Sim3v.replay_concrete c bad_trace ~bad)
+
+let tests =
+  [
+    Alcotest.test_case "ternary gate semantics" `Quick test_gate_semantics;
+    Alcotest.test_case "conflict relation" `Quick test_conflicts;
+    concrete_agreement;
+    x_monotone;
+    Alcotest.test_case "sequential run" `Quick test_run_counts_cycles;
+    Alcotest.test_case "concrete trace replay" `Quick test_replay_concrete;
+  ]
+
+let () = Alcotest.run "sim3v" [ ("sim3v", tests) ]
