@@ -8,8 +8,16 @@
      dune exec bench/main.exe table1 --baseline
      dune exec bench/main.exe table2 --budget 1800   # the paper's budget
      dune exec bench/main.exe -- --small      # scaled-down designs
+     BENCH_QUICK=1 dune exec bench/main.exe   # CI smoke: JSON summary only
 
-   Targets: table1 table2 figure1 guidance subsetting refine micro all *)
+   Every run (and the `json` target alone) also writes BENCH_rfn.json:
+   a machine-readable per-design summary (seconds, iterations, peak BDD
+   nodes, ATPG backtracks) so the perf trajectory accumulates across
+   changes. BENCH_QUICK=1 (or --quick) verifies only the brute-forceable
+   FIFO instance, exercising the emission path in seconds.
+
+   Targets: table1 table2 figure1 guidance subsetting refine micro json
+   all *)
 
 open Rfn_circuit
 module E = Rfn_experiments.Experiments
@@ -22,6 +30,8 @@ module Image = Rfn_mc.Image
 module Reach = Rfn_mc.Reach
 module Sim3v = Rfn_sim3v.Sim3v
 module Mincut = Rfn_mincut.Mincut
+module Telemetry = Rfn_obs.Telemetry
+module Json = Rfn_obs.Json
 
 let has flag = Array.exists (( = ) flag) Sys.argv
 
@@ -147,11 +157,86 @@ let micro () =
       | _ -> Format.printf "%-28s %14s@." name "n/a")
     rows
 
+(* ---- machine-readable summary (BENCH_rfn.json) ---------------------- *)
+
+let bench_json ~quick () =
+  section "JSON summary (BENCH_rfn.json)";
+  let workloads =
+    if quick then begin
+      let fifo = Rfn_designs.Fifo.(make ~params:small ()) in
+      let c = fifo.Rfn_designs.Fifo.circuit in
+      [
+        ("fifo_small/psh_hf", c, fifo.psh_hf);
+        ("fifo_small/psh_full", c, fifo.psh_full);
+      ]
+    end
+    else begin
+      let fifo = Rfn_designs.Fifo.make () in
+      let fc = fifo.Rfn_designs.Fifo.circuit in
+      let proc = Rfn_designs.Processor.(make ~params:small ()) in
+      let pc = proc.Rfn_designs.Processor.circuit in
+      [
+        ("fifo/psh_hf", fc, fifo.psh_hf);
+        ("fifo/psh_af", fc, fifo.psh_af);
+        ("fifo/psh_full", fc, fifo.psh_full);
+        ("processor_small/mutex", pc, proc.mutex);
+        ("processor_small/error_flag", pc, proc.error_flag);
+      ]
+    end
+  in
+  let g_nodes = Telemetry.gauge "bdd.live_nodes" in
+  let c_backtracks = Telemetry.counter "atpg.backtracks" in
+  let was_enabled = Telemetry.enabled () in
+  let rows =
+    List.map
+      (fun (name, circuit, prop) ->
+        Telemetry.reset ();
+        Telemetry.enable ();
+        let outcome, stats = Rfn.verify circuit prop in
+        let result =
+          match outcome with
+          | Rfn.Proved -> "T"
+          | Rfn.Falsified _ -> "F"
+          | Rfn.Aborted why -> "abort: " ^ why
+        in
+        Format.printf "  %-28s %-6s %6.2fs  %d iteration(s)@." name result
+          stats.Rfn.seconds
+          (List.length stats.Rfn.iterations);
+        Json.Obj
+          [
+            ("name", Json.Str name);
+            ("result", Json.Str result);
+            ("seconds", Json.Float stats.Rfn.seconds);
+            ("iterations", Json.Int (List.length stats.Rfn.iterations));
+            ("coi_regs", Json.Int stats.Rfn.coi_regs);
+            ("abstract_regs", Json.Int stats.Rfn.final_abstract_regs);
+            ("peak_bdd_nodes", Json.Int (Telemetry.gauge_peak g_nodes));
+            ( "atpg_backtracks",
+              Json.Int (Telemetry.counter_value c_backtracks) );
+          ])
+      workloads
+  in
+  if not was_enabled then Telemetry.disable ();
+  let summary =
+    Json.Obj
+      [
+        ("bench", Json.Str "rfn");
+        ("quick", Json.Bool quick);
+        ("designs", Json.List rows);
+      ]
+  in
+  let oc = open_out "BENCH_rfn.json" in
+  Json.to_channel oc summary;
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "wrote BENCH_rfn.json@."
+
 (* ---- drivers -------------------------------------------------------- *)
 
 let () =
   let small = has "--small" in
   let baseline = has "--baseline" in
+  let quick = has "--quick" || Sys.getenv_opt "BENCH_QUICK" <> None in
   let budget = float_arg "--budget" 20.0 in
   let bfs_k = int_of_float (float_arg "--bfs-k" 60.0) in
   let explicit =
@@ -159,12 +244,14 @@ let () =
       (fun a ->
         List.mem a
           [ "table1"; "table2"; "figure1"; "guidance"; "subsetting"; "refine";
-            "micro"; "all" ])
+            "micro"; "json"; "all" ])
       (Array.to_list Sys.argv)
   in
   let want t = explicit = [] || List.mem t explicit || List.mem "all" explicit in
   (* a full harness run includes the paper's COI-MC baseline footnote *)
   let baseline = baseline || explicit = [] || List.mem "all" explicit in
+  if quick then bench_json ~quick:true ()
+  else begin
   if want "table1" then begin
     section "Table 1 (property verification)";
     E.Table1.(print Format.std_formatter (run ~small ~baseline ()))
@@ -191,4 +278,6 @@ let () =
     section "Ablation: greedy crucial-register minimization (Sec. 2.4)";
     E.Refinement.(print Format.std_formatter (run ~small ()))
   end;
-  if want "micro" then micro ()
+  if want "micro" then micro ();
+  if want "json" then bench_json ~quick:false ()
+  end

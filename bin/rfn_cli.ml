@@ -5,6 +5,7 @@ open Cmdliner
 open Rfn_circuit
 module Rfn = Rfn_core.Rfn
 module Coverage = Rfn_core.Coverage
+module Telemetry = Rfn_obs.Telemetry
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -22,6 +23,42 @@ let config_of ~max_seconds ~node_limit ~max_iterations =
     node_limit;
     max_iterations;
   }
+
+(* Shared telemetry flags: --metrics-out streams JSONL events,
+   --profile prints a wall-time/counter report when the run ends. *)
+
+let metrics_out_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Stream telemetry events (CEGAR-phase spans, engine metrics) to \
+           $(docv) as JSON Lines.")
+
+let profile_arg =
+  Cmdliner.Arg.(
+    value
+    & flag
+    & info [ "profile" ]
+        ~doc:
+          "Record telemetry and print an end-of-run report: per-phase wall \
+           time, engine counters, BDD cache hit rate.")
+
+let setup_telemetry ~metrics_out ~profile =
+  match
+    match metrics_out with
+    | Some file -> Telemetry.attach_jsonl file
+    | None -> ()
+  with
+  | () ->
+    if profile then Telemetry.enable ();
+    Ok ()
+  | exception Sys_error msg -> Error ("cannot open metrics file: " ^ msg)
+
+let teardown_telemetry ~profile =
+  if profile then Format.printf "%a" Telemetry.pp_report ();
+  Telemetry.detach ()
 
 (* ---- rfn verify ---------------------------------------------------- *)
 
@@ -49,7 +86,8 @@ let verify_cmd =
   let baseline = Arg.(value & flag & info [ "baseline" ]
                         ~doc:"Also run plain COI model checking.") in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
-  let run netlist prop seconds nodes iters trace_out baseline verbose =
+  let run netlist prop seconds nodes iters trace_out baseline metrics_out
+      profile verbose =
     setup_logs verbose;
     match load netlist with
     | Error msg ->
@@ -61,6 +99,11 @@ let verify_cmd =
         Format.eprintf "error: no output named %S@." prop;
         1
       | property -> (
+        match setup_telemetry ~metrics_out ~profile with
+        | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          1
+        | Ok () -> (
         let config =
           config_of ~max_seconds:seconds ~node_limit:nodes
             ~max_iterations:iters
@@ -83,6 +126,7 @@ let verify_cmd =
             | `Aborted why -> "fails — " ^ why)
             secs
         end;
+        teardown_telemetry ~profile;
         match outcome with
         | Rfn.Proved ->
           Format.printf "RESULT: True (bad states unreachable)@.";
@@ -103,14 +147,14 @@ let verify_cmd =
           2
         | Rfn.Aborted why ->
           Format.printf "RESULT: inconclusive (%s)@." why;
-          3))
+          3)))
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Verify that an output signal can never be driven to 1.")
     Term.(
       const run $ netlist $ prop $ seconds $ nodes $ iters $ trace_out
-      $ baseline $ verbose)
+      $ baseline $ metrics_out_arg $ profile_arg $ verbose)
 
 (* ---- rfn coverage --------------------------------------------------- *)
 
@@ -128,7 +172,7 @@ let coverage_cmd =
   let bfs = Arg.(value & flag & info [ "bfs" ] ~doc:"Use the BFS baseline.") in
   let bfs_k = Arg.(value & opt int 60 & info [ "bfs-k" ] ~docv:"N") in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
-  let run netlist signals budget bfs bfs_k verbose =
+  let run netlist signals budget bfs bfs_k metrics_out profile verbose =
     setup_logs verbose;
     match load netlist with
     | Error msg ->
@@ -139,7 +183,12 @@ let coverage_cmd =
       | exception Not_found ->
         Format.eprintf "error: unknown coverage signal@.";
         1
-      | coverage ->
+      | coverage -> (
+        match setup_telemetry ~metrics_out ~profile with
+        | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          1
+        | Ok () ->
         let report =
           if bfs then
             Coverage.bfs_analysis ~k:bfs_k ~max_seconds:budget circuit
@@ -160,12 +209,15 @@ let coverage_cmd =
           report.Coverage.total report.Coverage.unreachable
           report.Coverage.reachable report.Coverage.unknown
           report.Coverage.seconds report.Coverage.abstract_regs;
-        0)
+        teardown_telemetry ~profile;
+        0))
   in
   Cmd.v
     (Cmd.info "coverage"
        ~doc:"Identify unreachable coverage states over a register set.")
-    Term.(const run $ netlist $ signals $ budget $ bfs $ bfs_k $ verbose)
+    Term.(
+      const run $ netlist $ signals $ budget $ bfs $ bfs_k $ metrics_out_arg
+      $ profile_arg $ verbose)
 
 (* ---- rfn bmc --------------------------------------------------------- *)
 

@@ -1,4 +1,10 @@
 open Rfn_circuit
+module Telemetry = Rfn_obs.Telemetry
+
+let c_decisions = Telemetry.counter "atpg.decisions"
+let c_backtracks = Telemetry.counter "atpg.backtracks"
+let c_solves = Telemetry.counter "atpg.solves"
+let c_aborts = Telemetry.counter "atpg.aborts"
 
 type answer = Sat of Trace.t | Unsat | Abort
 type stats = { decisions : int; backtracks : int }
@@ -310,7 +316,7 @@ exception Stop of answer
 let time_exceeded sol =
   match sol.limits.max_seconds with
   | None -> false
-  | Some budget -> Sys.time () -. sol.started > budget
+  | Some budget -> Telemetry.now () -. sol.started > budget
 
 (* Chronological backtracking: flip the deepest unflipped decision,
    discarding fully-explored ones. *)
@@ -381,7 +387,7 @@ let solve ?(free_init = false) ?(limits = default_limits) view ~frames ~pins ()
       n_decisions = 0;
       n_backtracks = 0;
       limits;
-      started = Sys.time ();
+      started = Telemetry.now ();
       free_init;
       cc0;
       cc1;
@@ -426,4 +432,8 @@ let solve ?(free_init = false) ?(limits = default_limits) view ~frames ~pins ()
       search sol
     end
   in
+  Telemetry.incr c_solves;
+  Telemetry.add c_decisions sol.n_decisions;
+  Telemetry.add c_backtracks sol.n_backtracks;
+  if answer = Abort then Telemetry.incr c_aborts;
   (answer, { decisions = sol.n_decisions; backtracks = sol.n_backtracks })

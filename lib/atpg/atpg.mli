@@ -6,8 +6,8 @@
     event-driven 3-valued simulation, and unjustified requirements are
     driven to decisions by objective backtracing. Chronological
     backtracking over the decision stack makes the procedure complete;
-    a backtrack budget and an optional CPU-time budget implement the
-    paper's resource limits.
+    a backtrack budget and an optional wall-clock budget
+    ({!Rfn_obs.Telemetry.now}) implement the paper's resource limits.
 
     Sequential problems are solved by time-frame expansion: [frames]
     copies of the combinational logic with register outputs at frame

@@ -2,6 +2,15 @@ type t = int
 
 exception Limit_exceeded
 
+module Telemetry = Rfn_obs.Telemetry
+
+(* Process-global engine metrics; incrementing is an unboxed integer
+   write, cheap enough for the op hot paths even with telemetry off. *)
+let c_alloc = Telemetry.counter "bdd.nodes_allocated"
+let c_hit = Telemetry.counter "bdd.cache_hits"
+let c_miss = Telemetry.counter "bdd.cache_misses"
+let g_nodes = Telemetry.gauge "bdd.live_nodes"
+
 type man = {
   mutable nvars : int;
   mutable limit : int;
@@ -107,6 +116,8 @@ let mk m v lo hi =
       m.low_.(id) <- lo;
       m.high_.(id) <- hi;
       Hashtbl.add m.unique key id;
+      Telemetry.incr c_alloc;
+      Telemetry.record g_nodes (m.n - m.free_n);
       id
 
 let var m i =
@@ -128,8 +139,11 @@ let rec dnot m f =
   else
     let key = (op_not, f, 0, 0) in
     match Hashtbl.find_opt m.cache key with
-    | Some r -> r
+    | Some r ->
+      Telemetry.incr c_hit;
+      r
     | None ->
+      Telemetry.incr c_miss;
       let r = mk m (vr m f) (dnot m (low m f)) (dnot m (high m f)) in
       Hashtbl.add m.cache key r;
       r
@@ -146,8 +160,11 @@ let rec dand m a b =
     let x = min a b and y = max a b in
     let key = (op_and, x, y, 0) in
     match Hashtbl.find_opt m.cache key with
-    | Some r -> r
+    | Some r ->
+      Telemetry.incr c_hit;
+      r
     | None ->
+      Telemetry.incr c_miss;
       let v = min (vr m a) (vr m b) in
       let a0, a1 = cofactors m v a and b0, b1 = cofactors m v b in
       let r = mk m v (dand m a0 b0) (dand m a1 b1) in
@@ -162,8 +179,11 @@ let rec ite m f g h =
   else
     let key = (op_ite, f, g, h) in
     match Hashtbl.find_opt m.cache key with
-    | Some r -> r
+    | Some r ->
+      Telemetry.incr c_hit;
+      r
     | None ->
+      Telemetry.incr c_miss;
       let v = min (vr m f) (min (vr m g) (vr m h)) in
       let f0c, f1c = cofactors m v f
       and g0, g1 = cofactors m v g
@@ -458,7 +478,8 @@ let gc m ~roots =
       m.free_n <- m.free_n + 1
     end
   done;
-  Hashtbl.reset m.cache
+  Hashtbl.reset m.cache;
+  Telemetry.record g_nodes (m.n - m.free_n)
 
 let subset_heavy m ~max_size f =
   if max_size < 1 then invalid_arg "Bdd.subset_heavy: max_size < 1";

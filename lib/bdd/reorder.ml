@@ -1,3 +1,8 @@
+module Telemetry = Rfn_obs.Telemetry
+
+let c_invocations = Telemetry.counter "bdd.reorder.invocations"
+let c_saved = Telemetry.counter "bdd.reorder.nodes_saved"
+
 let total_size man roots =
   let seen = Hashtbl.create 1024 in
   let rec walk f =
@@ -56,11 +61,13 @@ let rebuild_under man ~roots ~map =
   (dst, roots')
 
 let sift ?(max_passes = 4) man ~roots =
+  Telemetry.incr c_invocations;
   let nvars = Bdd.nvars man in
   (* accumulated map: old variable -> current level *)
   let perm = Array.init nvars (fun i -> i) in
   let cur_man = ref man and cur_roots = ref roots in
-  let cur_size = ref (total_size man roots) in
+  let size0 = total_size man roots in
+  let cur_size = ref size0 in
   let passes = ref 0 in
   let improved = ref true in
   while !improved && !passes < max_passes do
@@ -84,9 +91,11 @@ let sift ?(max_passes = 4) man ~roots =
       end
     done
   done;
+  Telemetry.add c_saved (size0 - !cur_size);
   (!cur_man, !cur_roots, fun v -> perm.(v))
 
 let improve man ~roots =
+  Telemetry.incr c_invocations;
   let nvars = Bdd.nvars man in
   let edges = structure_edges man roots in
   let init = Array.init nvars (fun i -> i) in
@@ -109,4 +118,8 @@ let improve man ~roots =
         r
   in
   let roots' = List.map rb roots in
+  (* sizing both managers is O(live nodes) — only pay it when telemetry
+     is recording *)
+  if Telemetry.enabled () then
+    Telemetry.add c_saved (max 0 (total_size man roots - total_size dst roots'));
   (dst, roots', fun v -> map_arr.(v))

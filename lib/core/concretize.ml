@@ -1,6 +1,10 @@
 open Rfn_circuit
 module Atpg = Rfn_atpg.Atpg
 module Sim3v = Rfn_sim3v.Sim3v
+module Telemetry = Rfn_obs.Telemetry
+
+let c_attempts = Telemetry.counter "concretize.attempts"
+let c_found = Telemetry.counter "concretize.found"
 
 type outcome = Found of Trace.t | Not_found_here | Gave_up
 
@@ -18,14 +22,21 @@ let trace_pins trace =
   !pins
 
 let run ~limits circuit ~bad ~frames ~pins =
-  let view = Sview.whole circuit ~roots:[ bad ] in
-  let pins = (frames - 1, bad, true) :: pins in
-  match Atpg.solve ~limits view ~frames ~pins () with
-  | Atpg.Sat t, stats ->
-    if Sim3v.replay_concrete circuit t ~bad then (Found t, stats)
-    else (Gave_up, stats) (* engine bug guard: never report unvalidated *)
-  | Atpg.Unsat, stats -> (Not_found_here, stats)
-  | Atpg.Abort, stats -> (Gave_up, stats)
+  Telemetry.incr c_attempts;
+  Telemetry.with_span "concretize.atpg"
+    ~attrs:[ ("frames", Rfn_obs.Json.Int frames) ]
+    (fun () ->
+      let view = Sview.whole circuit ~roots:[ bad ] in
+      let pins = (frames - 1, bad, true) :: pins in
+      match Atpg.solve ~limits view ~frames ~pins () with
+      | Atpg.Sat t, stats ->
+        if Sim3v.replay_concrete circuit t ~bad then begin
+          Telemetry.incr c_found;
+          (Found t, stats)
+        end
+        else (Gave_up, stats) (* engine bug guard: never report unvalidated *)
+      | Atpg.Unsat, stats -> (Not_found_here, stats)
+      | Atpg.Abort, stats -> (Gave_up, stats))
 
 let guided ?(limits = Atpg.default_limits) circuit ~bad ~abstract_trace =
   run ~limits circuit ~bad

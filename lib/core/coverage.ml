@@ -5,6 +5,7 @@ module Symbolic = Rfn_mc.Symbolic
 module Image = Rfn_mc.Image
 module Reach = Rfn_mc.Reach
 module Sim3v = Rfn_sim3v.Sim3v
+module Telemetry = Rfn_obs.Telemetry
 
 type status = Unknown | Unreachable | Reachable
 
@@ -130,23 +131,26 @@ let report_of ~status ~abstract_regs ~iterations ~seconds =
 
 let rfn_analysis ?(config = Rfn.default_config) circuit ~coverage =
   check_coverage circuit coverage;
-  let started = Sys.time () in
+  let started = Telemetry.now () in
   let n = List.length coverage in
   let status = Array.make (1 lsl n) Unknown in
   let out_of_time () =
     match config.Rfn.max_seconds with
-    | Some budget -> Sys.time () -. started > budget
+    | Some budget -> Telemetry.now () -. started > budget
     | None -> false
   in
+  (* wall-clock remainder, clamped so Reach.run never sees a negative
+     budget *)
   let time_left () =
     match config.Rfn.max_seconds with
     | None -> None
-    | Some budget -> Some (budget -. (Sys.time () -. started))
+    | Some budget ->
+      Some (Float.max 0.0 (budget -. (Telemetry.now () -. started)))
   in
   let rec iterate ?previous abstraction iter =
     let done_ last_regs =
       report_of ~status ~abstract_regs:last_regs ~iterations:iter
-        ~seconds:(Sys.time () -. started)
+        ~seconds:(Telemetry.now () -. started)
     in
     let regs_now = Abstraction.num_regs abstraction in
     if
@@ -307,7 +311,7 @@ let closest_registers circuit ~coverage ~k =
 let bfs_analysis ?(k = 60) ?(node_limit = 2_000_000) ?(max_steps = 2_000)
     ?max_seconds circuit ~coverage =
   check_coverage circuit coverage;
-  let started = Sys.time () in
+  let started = Telemetry.now () in
   let n = List.length coverage in
   let status = Array.make (1 lsl n) Unknown in
   let regs = closest_registers circuit ~coverage ~k in
@@ -338,6 +342,6 @@ let bfs_analysis ?(k = 60) ?(node_limit = 2_000_000) ?(max_steps = 2_000)
       mark_unreachable vm ~coverage ~status proj
     | Reach.Closed _ | Reach.Reached _ | Reach.Aborted _ -> ()));
   report_of ~status ~abstract_regs
-    ~iterations:1 ~seconds:(Sys.time () -. started)
+    ~iterations:1 ~seconds:(Telemetry.now () -. started)
 
 let closest_registers_for_test = closest_registers

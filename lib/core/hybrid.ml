@@ -5,6 +5,11 @@ module Symbolic = Rfn_mc.Symbolic
 module Image = Rfn_mc.Image
 module Atpg = Rfn_atpg.Atpg
 module Mincut = Rfn_mincut.Mincut
+module Telemetry = Rfn_obs.Telemetry
+
+let c_no_cut = Telemetry.counter "hybrid.no_cut_steps"
+let c_min_cut = Telemetry.counter "hybrid.min_cut_steps"
+let c_retries = Telemetry.counter "hybrid.cube_retries"
 
 type result = {
   trace : Trace.t;
@@ -94,7 +99,10 @@ and extract ?(atpg_limits = Atpg.default_limits) ?(max_cube_tries = 64) vm
       && 4 * Bdd.num_nodes man > 3 * Bdd.node_limit man
     then Bdd.gc man ~roots:(Array.to_list rings);
     let target = Symbolic.state_cube vm states.(j) in
-    let pre = Image.pre_via_compose vm ~fn:fn_mc target in
+    let pre =
+      Telemetry.with_span "hybrid.preimage" (fun () ->
+          Image.pre_via_compose vm ~fn:fn_mc target)
+    in
     let r = Bdd.dand man rings.(j - 1) pre in
     if Bdd.is_zero r then
       failwith "Hybrid.extract: empty pre-image (ring invariant broken)";
@@ -109,14 +117,17 @@ and extract ?(atpg_limits = Atpg.default_limits) ?(max_cube_tries = 64) vm
         let regs, inps, internal = split view lits in
         if internal = [] then begin
           incr no_cut_steps;
+          Telemetry.incr c_no_cut;
           (Cube.of_list regs, Cube.of_list inps)
         end
         else begin
           match extend_cube lits with
           | Some (state, input) ->
             incr min_cut_steps;
+            Telemetry.incr c_min_cut;
             state, input
           | None ->
+            Telemetry.incr c_retries;
             attempt
               (Bdd.diff man remaining (Bdd.cube man bdd_cube))
               (tries + 1)

@@ -1,6 +1,11 @@
 open Rfn_circuit
 module Atpg = Rfn_atpg.Atpg
 module Sim3v = Rfn_sim3v.Sim3v
+module Telemetry = Rfn_obs.Telemetry
+
+let c_checks = Telemetry.counter "refine.trace_checks"
+let c_candidates = Telemetry.counter "refine.candidates"
+let c_kept = Telemetry.counter "refine.registers_added"
 
 type result = { candidates : int list; kept : int list; invalidated : bool }
 
@@ -102,9 +107,11 @@ let crucial_registers ?(atpg_limits = Atpg.default_limits) ?(max_fallback = 8)
     | cs -> cs
   in
   let check added =
-    trace_satisfiable ~atpg_limits
-      (Abstraction.refine abstraction ~add:added)
-      ~abstract_trace ~bad
+    Telemetry.incr c_checks;
+    Telemetry.with_span "refine.trace_check" (fun () ->
+        trace_satisfiable ~atpg_limits
+          (Abstraction.refine abstraction ~add:added)
+          ~abstract_trace ~bad)
   in
   (* Phase 2a: add candidates until the trace is refuted. *)
   let rec grow added = function
@@ -135,4 +142,6 @@ let crucial_registers ?(atpg_limits = Atpg.default_limits) ?(max_fallback = 8)
       shrink [] kept
     end
   in
+  Telemetry.add c_candidates (List.length candidates);
+  Telemetry.add c_kept (List.length kept);
   { candidates; kept; invalidated }

@@ -5,6 +5,7 @@ module Symbolic = Rfn_mc.Symbolic
 module Image = Rfn_mc.Image
 module Reach = Rfn_mc.Reach
 module Atpg = Rfn_atpg.Atpg
+module Telemetry = Rfn_obs.Telemetry
 
 let src = Logs.Src.create "rfn" ~doc:"RFN abstraction refinement"
 
@@ -55,7 +56,7 @@ type stats = {
 type outcome = Proved | Falsified of Trace.t | Aborted of string
 
 let verify ?(config = default_config) circuit prop =
-  let started = Sys.time () in
+  let started = Telemetry.now () in
   let bad = prop.Property.bad in
   let coi = Coi.compute circuit ~roots:(Property.roots prop) in
   let iterations = ref [] in
@@ -68,13 +69,17 @@ let verify ?(config = default_config) circuit prop =
         coi_gates = Coi.num_gates coi;
         final_abstract_regs = Abstraction.num_regs abstraction;
         last_abstract_trace = !last_trace;
-        seconds = Sys.time () -. started;
+        seconds = Telemetry.now () -. started;
       } )
   in
+  (* Remaining wall-clock budget, clamped at zero so a blown budget is
+     never handed to Reach.run or the ATPG engines as a negative
+     limit. *)
   let time_left () =
     match config.max_seconds with
     | None -> None
-    | Some budget -> Some (budget -. (Sys.time () -. started))
+    | Some budget ->
+      Some (Float.max 0.0 (budget -. (Telemetry.now () -. started)))
   in
   let out_of_time () =
     match time_left () with Some r -> r <= 0.0 | None -> false
@@ -103,18 +108,26 @@ let verify ?(config = default_config) circuit prop =
           }
           :: !iterations
       in
+      let attrs =
+        [
+          ("iter", Rfn_obs.Json.Int iter);
+          ( "abstract_regs",
+            Rfn_obs.Json.Int (Abstraction.num_regs abstraction) );
+        ]
+      in
       (* Step 2: prove or find an abstract error trace. *)
       match
-        let vm = Varmap.make ~node_limit:config.node_limit ?previous view in
-        let fn = Symbolic.functions vm in
-        let img = Image.make vm in
-        let init = Symbolic.initial_states vm in
-        let bad_states = Reach.bad_predicate vm ~fn ~bad in
-        let res =
-          Reach.run ~max_steps:config.mc_max_steps ?max_seconds:(time_left ())
-            img ~vm ~init ~bad_states
-        in
-        (vm, fn, res)
+        Telemetry.with_span "rfn.abstract_mc" ~attrs (fun () ->
+            let vm = Varmap.make ~node_limit:config.node_limit ?previous view in
+            let fn = Symbolic.functions vm in
+            let img = Image.make vm in
+            let init = Symbolic.initial_states vm in
+            let bad_states = Reach.bad_predicate vm ~fn ~bad in
+            let res =
+              Reach.run ~max_steps:config.mc_max_steps
+                ?max_seconds:(time_left ()) img ~vm ~init ~bad_states
+            in
+            (vm, fn, res))
       with
       | exception Bdd.Limit_exceeded ->
         record 0;
@@ -126,16 +139,23 @@ let verify ?(config = default_config) circuit prop =
           Log.info (fun m -> m "property proved on the abstract model");
           finish abstraction Proved
         | Reach.Closed _ ->
-          (* not produced when stop_at_bad is true (the default) *)
-          assert false
+          (* not produced when stop_at_bad is true (the default); an
+             engine invariant slip degrades into a reported abort
+             rather than a crash *)
+          record res.Reach.steps;
+          finish abstraction
+            (Aborted
+               "internal: reachability closed with a bad intersection \
+                despite stop_at_bad")
         | Reach.Aborted why ->
           record res.Reach.steps;
           finish abstraction (Aborted ("fixpoint: " ^ why))
         | Reach.Reached k -> (
           match
-            Hybrid.extract_multi ~atpg_limits:config.abstract_atpg
-              ~count:(max 1 config.guidance_traces) vm ~rings:res.Reach.rings
-              ~target:(fn bad) ~k
+            Telemetry.with_span "rfn.hybrid" ~attrs (fun () ->
+                Hybrid.extract_multi ~atpg_limits:config.abstract_atpg
+                  ~count:(max 1 config.guidance_traces) vm
+                  ~rings:res.Reach.rings ~target:(fn bad) ~k)
           with
           | exception (Failure _ as e) ->
             record res.Reach.steps;
@@ -143,7 +163,12 @@ let verify ?(config = default_config) circuit prop =
           | exception Bdd.Limit_exceeded ->
             record res.Reach.steps;
             finish abstraction (Aborted "BDD node limit in hybrid engine")
-          | [] -> assert false (* extract_multi returns at least one *)
+          | [] ->
+            (* extract_multi promises at least one trace; degrade an
+               invariant slip into a reported abort *)
+            record res.Reach.steps;
+            finish abstraction
+              (Aborted "internal: hybrid engine returned no abstract traces")
           | (hybrid :: _ as hybrids) -> (
             let abstract_trace = hybrid.Hybrid.trace in
             last_trace := Some abstract_trace;
@@ -154,8 +179,11 @@ let verify ?(config = default_config) circuit prop =
                   hybrid.Hybrid.cut_size hybrid.Hybrid.model_inputs);
             (* Step 3: search on the original design. *)
             let concrete, _ =
-              Concretize.guided_any ~limits:config.concrete_atpg circuit ~bad
-                ~abstract_traces:(List.map (fun h -> h.Hybrid.trace) hybrids)
+              Telemetry.with_span "rfn.concretize" ~attrs (fun () ->
+                  Concretize.guided_any ~limits:config.concrete_atpg circuit
+                    ~bad
+                    ~abstract_traces:
+                      (List.map (fun h -> h.Hybrid.trace) hybrids))
             in
             match concrete with
             | Concretize.Found t ->
@@ -168,8 +196,9 @@ let verify ?(config = default_config) circuit prop =
             | Concretize.Not_found_here | Concretize.Gave_up ->
               (* Step 4: refine. *)
               let r =
-                Refine.crucial_registers ~atpg_limits:config.abstract_atpg ~bad
-                  abstraction ~abstract_trace ()
+                Telemetry.with_span "rfn.refine" ~attrs (fun () ->
+                    Refine.crucial_registers ~atpg_limits:config.abstract_atpg
+                      ~bad abstraction ~abstract_trace ())
               in
               record ~cut_size:hybrid.Hybrid.cut_size
                 ~no_cut:hybrid.Hybrid.no_cut_steps
@@ -194,7 +223,7 @@ let verify ?(config = default_config) circuit prop =
 
 let check_coi_model_checking ?(node_limit = 2_000_000) ?(max_steps = 10_000)
     ?max_seconds circuit prop =
-  let started = Sys.time () in
+  let started = Telemetry.now () in
   let bad = prop.Property.bad in
   let coi = Coi.compute circuit ~roots:(Property.roots prop) in
   let view = Coi.restrict_view circuit coi ~roots:(Property.roots prop) in
@@ -214,4 +243,4 @@ let check_coi_model_checking ?(node_limit = 2_000_000) ?(max_steps = 10_000)
       | Reach.Reached k | Reach.Closed k -> `Reached k
       | Reach.Aborted why -> `Aborted why)
   in
-  (result, Sys.time () -. started)
+  (result, Telemetry.now () -. started)

@@ -19,7 +19,9 @@ type config = {
   max_iterations : int;
   node_limit : int;  (** BDD node budget per iteration *)
   mc_max_steps : int;  (** fixpoint step bound *)
-  max_seconds : float option;  (** overall CPU budget *)
+  max_seconds : float option;
+      (** overall wall-clock budget ({!Rfn_obs.Telemetry.now}); the
+          remaining budget handed to the engines is clamped at zero *)
   abstract_atpg : Rfn_atpg.Atpg.limits;
       (** budget for hybrid cube extension and refinement checks *)
   concrete_atpg : Rfn_atpg.Atpg.limits;
@@ -75,4 +77,5 @@ val check_coi_model_checking :
   [ `Proved | `Reached of int | `Aborted of string ] * float
 (** The baseline the paper compares against: plain symbolic model
     checking of the property on the COI-reduced design (no
-    abstraction). Returns the outcome and the CPU seconds spent. *)
+    abstraction). Returns the outcome and the wall-clock seconds
+    spent. *)

@@ -1,5 +1,8 @@
 open Rfn_circuit
 module Bdd = Rfn_bdd.Bdd
+module Telemetry = Rfn_obs.Telemetry
+
+let c_post = Telemetry.counter "mc.post_images"
 
 type t = {
   vm : Varmap.t;
@@ -71,12 +74,14 @@ let make ?(cluster_size = 5000) vm =
 let num_clusters t = Array.length t.clusters
 
 let post t q =
-  let man = Varmap.man t.vm in
-  let r = ref (Bdd.exists man t.schedule.(0) q) in
-  Array.iteri
-    (fun i c -> r := Bdd.and_exists man t.schedule.(i + 1) !r c)
-    t.clusters;
-  Varmap.rename_next_to_cur t.vm !r
+  Telemetry.incr c_post;
+  Telemetry.with_span "mc.image" (fun () ->
+      let man = Varmap.man t.vm in
+      let r = ref (Bdd.exists man t.schedule.(0) q) in
+      Array.iteri
+        (fun i c -> r := Bdd.and_exists man t.schedule.(i + 1) !r c)
+        t.clusters;
+      Varmap.rename_next_to_cur t.vm !r)
 
 let pre_via_compose vm ~fn q =
   let man = Varmap.man vm in

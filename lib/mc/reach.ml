@@ -1,4 +1,9 @@
 module Bdd = Rfn_bdd.Bdd
+module Telemetry = Rfn_obs.Telemetry
+
+let c_steps = Telemetry.counter "mc.fixpoint_steps"
+let g_frontier = Telemetry.gauge "mc.frontier_size"
+let g_reached = Telemetry.gauge "mc.reached_size"
 
 type outcome = Proved | Reached of int | Closed of int | Aborted of string
 
@@ -17,8 +22,8 @@ let bad_predicate vm ~fn ~bad =
 let run ?(max_steps = max_int) ?max_seconds ?(stop_at_bad = true) img ~vm ~init
     ~bad_states =
   let man = Varmap.man vm in
-  let started = Sys.time () in
-  let elapsed () = Sys.time () -. started in
+  let started = Telemetry.now () in
+  let elapsed () = Telemetry.now () -. started in
   let over_time () =
     match max_seconds with Some b -> elapsed () > b | None -> false
   in
@@ -60,10 +65,16 @@ let run ?(max_steps = max_int) ?max_seconds ?(stop_at_bad = true) img ~vm ~init
         | exception Bdd.Limit_exceeded ->
           finish (Aborted "node limit") step reached
         | fresh ->
+          Telemetry.incr c_steps;
           if Bdd.is_zero fresh then closed step reached
           else begin
             rings := fresh :: !rings;
             let reached = Bdd.dor man reached fresh in
+            (* BDD sizing is O(nodes): only when telemetry is recording *)
+            if Telemetry.enabled () then begin
+              Telemetry.record g_frontier (Bdd.size man fresh);
+              Telemetry.record g_reached (Bdd.size man reached)
+            end;
             if touches fresh && !first_hit = None then begin
               first_hit := Some (step + 1);
               if stop_at_bad then

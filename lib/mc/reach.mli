@@ -6,7 +6,8 @@
     extract an abstract error trace, and the paper saves them for the
     same purpose. The run stops as soon as a ring intersects the
     target states, when the fixpoint closes, or when a resource limit
-    (steps, CPU seconds, or the manager's node budget) is hit. *)
+    (steps, wall-clock seconds, or the manager's node budget) is
+    hit. *)
 
 type outcome =
   | Proved  (** fixpoint closed without touching the target states *)

@@ -1,0 +1,34 @@
+(** Minimal JSON values: just enough to emit and re-read the telemetry
+    event stream and the benchmark summaries without external
+    dependencies. Integers are kept distinct from floats so counters
+    round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering; strings are escaped per RFC 8259.
+    Non-finite floats are rendered as [null]. *)
+
+val to_channel : out_channel -> t -> unit
+
+val of_string : string -> t
+(** Parse a single JSON value. @raise Failure on malformed input. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to the first [k], if any;
+    [None] on non-objects. *)
+
+val to_int : t -> int option
+(** [Int n] as [Some n]; anything else (including floats) is [None]. *)
+
+val to_float : t -> float option
+(** [Float f] or [Int n] as a float. *)
+
+val to_str : t -> string option

@@ -1,0 +1,318 @@
+let now () = Unix.gettimeofday ()
+
+(* ---- registry -------------------------------------------------------- *)
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : int; mutable peak : int }
+
+type timer = {
+  t_name : string;
+  mutable calls : int;
+  mutable total : float;
+  mutable max_dur : float;
+}
+
+(* Registration order is kept so reports are stable. *)
+type registry = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  timers : (string, timer) Hashtbl.t;
+  spans : (string, timer) Hashtbl.t;
+  mutable order : [ `C of counter | `G of gauge | `T of timer ] list;
+}
+
+let reg =
+  {
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+    timers = Hashtbl.create 16;
+    spans = Hashtbl.create 16;
+    order = [];
+  }
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+
+let counter name =
+  match Hashtbl.find_opt reg.counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.add reg.counters name c;
+    reg.order <- `C c :: reg.order;
+    c
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let counter_value c = c.count
+
+let gauge name =
+  match Hashtbl.find_opt reg.gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; value = 0; peak = 0 } in
+    Hashtbl.add reg.gauges name g;
+    reg.order <- `G g :: reg.order;
+    g
+
+let record g v =
+  g.value <- v;
+  if v > g.peak then g.peak <- v
+
+let gauge_value g = g.value
+let gauge_peak g = g.peak
+
+let fresh_timer name = { t_name = name; calls = 0; total = 0.0; max_dur = 0.0 }
+
+let timer name =
+  match Hashtbl.find_opt reg.timers name with
+  | Some t -> t
+  | None ->
+    let t = fresh_timer name in
+    Hashtbl.add reg.timers name t;
+    reg.order <- `T t :: reg.order;
+    t
+
+let observe t dur =
+  t.calls <- t.calls + 1;
+  t.total <- t.total +. dur;
+  if dur > t.max_dur then t.max_dur <- dur
+
+let time t f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = now () in
+    match f () with
+    | v ->
+      observe t (now () -. t0);
+      v
+    | exception e ->
+      observe t (now () -. t0);
+      raise e
+  end
+
+let timer_calls t = t.calls
+let timer_total t = t.total
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) reg.counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.value <- 0;
+      g.peak <- 0)
+    reg.gauges;
+  Hashtbl.iter
+    (fun _ t ->
+      t.calls <- 0;
+      t.total <- 0.0;
+      t.max_dur <- 0.0)
+    reg.timers;
+  Hashtbl.reset reg.spans
+
+(* ---- sink ------------------------------------------------------------ *)
+
+type sink = { oc : out_channel; epoch : float }
+
+let sink : sink option ref = ref None
+
+let emit_line fields =
+  match !sink with
+  | None -> ()
+  | Some s ->
+    Json.to_channel s.oc (Json.Obj fields);
+    output_char s.oc '\n'
+
+let event name fields = emit_line (("ev", Json.Str name) :: fields)
+
+let metric_snapshot_events () =
+  let evs = ref [] in
+  List.iter
+    (function
+      | `C c ->
+        if c.count <> 0 then
+          evs :=
+            [ ("ev", Json.Str "counter"); ("name", Json.Str c.c_name);
+              ("value", Json.Int c.count) ]
+            :: !evs
+      | `G g ->
+        if g.peak <> 0 || g.value <> 0 then
+          evs :=
+            [ ("ev", Json.Str "gauge"); ("name", Json.Str g.g_name);
+              ("value", Json.Int g.value); ("peak", Json.Int g.peak) ]
+            :: !evs
+      | `T t ->
+        if t.calls <> 0 then
+          evs :=
+            [ ("ev", Json.Str "timer"); ("name", Json.Str t.t_name);
+              ("calls", Json.Int t.calls); ("seconds", Json.Float t.total) ]
+            :: !evs)
+    reg.order;
+  Hashtbl.fold
+    (fun _ t acc ->
+      [ ("ev", Json.Str "timer"); ("name", Json.Str t.t_name);
+        ("calls", Json.Int t.calls); ("seconds", Json.Float t.total) ]
+      :: acc)
+    reg.spans !evs
+  |> List.rev
+
+let detach () =
+  match !sink with
+  | None -> ()
+  | Some s ->
+    List.iter emit_line (metric_snapshot_events ());
+    close_out s.oc;
+    sink := None
+
+let attach_jsonl file =
+  detach ();
+  sink := Some { oc = open_out file; epoch = now () };
+  enable ()
+
+(* ---- spans ----------------------------------------------------------- *)
+
+let span_depth = ref 0
+
+let span_agg name =
+  match Hashtbl.find_opt reg.spans name with
+  | Some t -> t
+  | None ->
+    let t = fresh_timer name in
+    Hashtbl.add reg.spans name t;
+    t
+
+let span_stats name =
+  match Hashtbl.find_opt reg.spans name with
+  | Some t when t.calls > 0 -> Some (t.calls, t.total)
+  | _ -> None
+
+let close_span ?(error = false) name attrs t0 =
+  let dur = now () -. t0 in
+  observe (span_agg name) dur;
+  (match !sink with
+  | None -> ()
+  | Some s ->
+    let base =
+      [ ("ev", Json.Str "span"); ("name", Json.Str name);
+        ("ts", Json.Float (t0 -. s.epoch)); ("dur", Json.Float dur);
+        ("depth", Json.Int !span_depth) ]
+    in
+    let base = if error then base @ [ ("error", Json.Bool true) ] else base in
+    let base =
+      if attrs = [] then base else base @ [ ("attrs", Json.Obj attrs) ]
+    in
+    emit_line base);
+  decr span_depth
+
+let with_span ?(attrs = []) name f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = now () in
+    Stdlib.incr span_depth;
+    match f () with
+    | v ->
+      close_span name attrs t0;
+      v
+    | exception e ->
+      close_span ~error:true name attrs t0;
+      raise e
+  end
+
+(* ---- reporting ------------------------------------------------------- *)
+
+let snapshot () =
+  let counters = ref [] and gauges = ref [] and timers = ref [] in
+  List.iter
+    (function
+      | `C c -> counters := (c.c_name, Json.Int c.count) :: !counters
+      | `G g ->
+        gauges :=
+          ( g.g_name,
+            Json.Obj [ ("value", Json.Int g.value); ("peak", Json.Int g.peak) ]
+          )
+          :: !gauges
+      | `T t ->
+        timers :=
+          ( t.t_name,
+            Json.Obj
+              [ ("calls", Json.Int t.calls); ("seconds", Json.Float t.total) ]
+          )
+          :: !timers)
+    reg.order;
+  let spans =
+    Hashtbl.fold
+      (fun name t acc ->
+        ( name,
+          Json.Obj
+            [ ("calls", Json.Int t.calls); ("seconds", Json.Float t.total) ] )
+        :: acc)
+      reg.spans []
+    |> List.sort compare
+  in
+  Json.Obj
+    [ ("counters", Json.Obj !counters); ("gauges", Json.Obj !gauges);
+      ("timers", Json.Obj !timers); ("spans", Json.Obj spans) ]
+
+let pp_report ppf () =
+  let spans =
+    Hashtbl.fold (fun _ t acc -> t :: acc) reg.spans []
+    |> List.filter (fun t -> t.calls > 0)
+    |> List.sort (fun a b -> compare b.total a.total)
+  in
+  Format.fprintf ppf "== telemetry ==========================================@.";
+  if spans <> [] then begin
+    Format.fprintf ppf "spans (wall time):@.";
+    List.iter
+      (fun t ->
+        Format.fprintf ppf "  %-28s calls=%-6d total=%8.3fs max=%7.3fs@."
+          t.t_name t.calls t.total t.max_dur)
+      spans
+  end;
+  let timers =
+    Hashtbl.fold (fun _ t acc -> t :: acc) reg.timers []
+    |> List.filter (fun t -> t.calls > 0)
+    |> List.sort (fun a b -> compare b.total a.total)
+  in
+  if timers <> [] then begin
+    Format.fprintf ppf "timers:@.";
+    List.iter
+      (fun t ->
+        Format.fprintf ppf "  %-28s calls=%-6d total=%8.3fs@." t.t_name
+          t.calls t.total)
+      timers
+  end;
+  let counters =
+    Hashtbl.fold (fun _ c acc -> c :: acc) reg.counters []
+    |> List.filter (fun c -> c.count <> 0)
+    |> List.sort (fun a b -> compare a.c_name b.c_name)
+  in
+  if counters <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter
+      (fun c -> Format.fprintf ppf "  %-28s %d@." c.c_name c.count)
+      counters
+  end;
+  (* derived: BDD op-cache hit rate, when the BDD layer is registered *)
+  (match
+     ( Hashtbl.find_opt reg.counters "bdd.cache_hits",
+       Hashtbl.find_opt reg.counters "bdd.cache_misses" )
+   with
+  | Some h, Some m when h.count + m.count > 0 ->
+    Format.fprintf ppf "  %-28s %.1f%% (%d/%d)@." "bdd.cache hit rate"
+      (100.0 *. float_of_int h.count /. float_of_int (h.count + m.count))
+      h.count (h.count + m.count)
+  | _ -> ());
+  let gauges =
+    Hashtbl.fold (fun _ g acc -> g :: acc) reg.gauges []
+    |> List.filter (fun g -> g.peak <> 0 || g.value <> 0)
+    |> List.sort (fun a b -> compare a.g_name b.g_name)
+  in
+  if gauges <> [] then begin
+    Format.fprintf ppf "gauges (last/peak):@.";
+    List.iter
+      (fun g ->
+        Format.fprintf ppf "  %-28s %d / %d@." g.g_name g.value g.peak)
+      gauges
+  end;
+  Format.fprintf ppf "=======================================================@."

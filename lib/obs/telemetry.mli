@@ -1,0 +1,117 @@
+(** Process-global telemetry: named counters, gauges and timers, plus
+    nested spans tracing the CEGAR loop, with an optional JSONL sink.
+
+    The registry has two costs, by design:
+
+    - {b Counters and gauges} are live even when telemetry is disabled —
+      an increment is one or two unboxed integer writes, cheap enough
+      for the BDD and ATPG hot paths.
+    - {b Spans and timers} are gated on {!enabled}: when the registry is
+      disabled, {!with_span} is a single flag test plus the call to the
+      wrapped function — no clock reads, no allocation. Instrumentation
+      that must compute something expensive to record (e.g. a BDD size)
+      should itself test {!enabled} first.
+
+    The clock ({!now}) is monotonic-enough wall time
+    ([Unix.gettimeofday]), not CPU time: engine budgets and reported
+    seconds measure what a user actually waits. *)
+
+(* ---- clock ----------------------------------------------------------- *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]). Use this — never
+    [Sys.time], which reports CPU time — for budgets and durations. *)
+
+(* ---- registry control ------------------------------------------------ *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+(** Start recording spans and timers (idempotent). *)
+
+val disable : unit -> unit
+(** Stop recording spans/timers; counters and gauges keep counting. *)
+
+val reset : unit -> unit
+(** Zero every registered metric and clear span aggregates. Handles
+    already obtained remain valid (they are zeroed, not dropped). *)
+
+(* ---- metrics --------------------------------------------------------- *)
+
+type counter
+type gauge
+type timer
+
+val counter : string -> counter
+(** Find-or-create: the same name always yields the same counter. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+
+val record : gauge -> int -> unit
+(** Set the gauge's current value, tracking the peak. *)
+
+val gauge_value : gauge -> int
+val gauge_peak : gauge -> int
+
+val timer : string -> timer
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk, accumulating wall time when {!enabled}; when
+    disabled it is just the call. Exceptions propagate; the partial
+    duration is still accumulated. *)
+
+val timer_calls : timer -> int
+val timer_total : timer -> float
+
+(* ---- spans ----------------------------------------------------------- *)
+
+val with_span : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], recording a span when {!enabled}:
+    wall-clock duration and nesting depth aggregate under [name] (see
+    {!span_stats}), and if a sink is attached a ["span"] event is
+    emitted on exit. Spans nest; exceptions propagate after the span is
+    closed (the event carries ["error": true]). When disabled this is
+    one flag test. *)
+
+val span_stats : string -> (int * float) option
+(** [(calls, total_seconds)] aggregated for a span name, if any span
+    with that name has closed since the last {!reset}. *)
+
+(* ---- sink ------------------------------------------------------------ *)
+
+val attach_jsonl : string -> unit
+(** Open [file] for writing and stream events to it as JSON Lines;
+    implies {!enable}. Any previously attached sink is closed first.
+
+    Event schema (one object per line):
+    - [{"ev":"span","name":s,"ts":t0,"dur":d,"depth":n,"attrs":{...}}]
+      — emitted when a span closes; [ts] is seconds since the sink was
+      attached, [depth] is 1 for top-level spans;
+    - [{"ev":"counter","name":s,"value":n}],
+      [{"ev":"gauge","name":s,"value":n,"peak":p}],
+      [{"ev":"timer","name":s,"calls":n,"seconds":d}] — the final
+      metric snapshot written by {!detach}. *)
+
+val detach : unit -> unit
+(** Flush the metric snapshot to the sink (if any) and close it. Safe
+    to call with no sink attached; does not change {!enabled}. *)
+
+val event : string -> (string * Json.t) list -> unit
+(** Emit a custom event line [{"ev":name, ...fields}] to the sink, if
+    one is attached. *)
+
+(* ---- reporting ------------------------------------------------------- *)
+
+val snapshot : unit -> Json.t
+(** All registered metrics and span aggregates as one JSON object:
+    [{"counters":{...},"gauges":{...},"timers":{...},"spans":{...}}].
+    Gauges appear as [{"value":v,"peak":p}], timers and spans as
+    [{"calls":n,"seconds":d}]. *)
+
+val pp_report : Format.formatter -> unit -> unit
+(** Human-readable end-of-run report: per-span wall time, non-zero
+    counters (with a derived BDD cache hit rate when the BDD counters
+    are present), and gauge peaks. *)

@@ -4,6 +4,7 @@
 open Rfn_circuit
 module Rfn = Rfn_core.Rfn
 module Sim3v = Rfn_sim3v.Sim3v
+module Telemetry = Rfn_obs.Telemetry
 
 let quick_config =
   {
@@ -43,6 +44,45 @@ let test_deep_bug () =
   let c = Helpers.deep_bug_design ~width:3 in
   check_verify "deep-bug" c "bad" `False ()
 
+let test_cegar_phase_spans () =
+  (* A full verify on the FIFO must trace every CEGAR phase: abstract
+     model checking, hybrid trace extraction, concretization and
+     refinement all produce spans. *)
+  let fifo = Rfn_designs.Fifo.(make ~params:small ()) in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  Fun.protect ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ())
+  @@ fun () ->
+  let outcome, stats =
+    Rfn.verify ~config:quick_config fifo.Rfn_designs.Fifo.circuit
+      fifo.Rfn_designs.Fifo.psh_hf
+  in
+  (match outcome with
+  | Rfn.Proved -> ()
+  | Rfn.Falsified _ -> Alcotest.fail "fifo: psh_hf should be proved"
+  | Rfn.Aborted why -> Alcotest.fail ("fifo: aborted: " ^ why));
+  let iterations = List.length stats.Rfn.iterations in
+  Alcotest.(check bool) "fifo refines at least once" true (iterations > 1);
+  List.iter
+    (fun phase ->
+      match Telemetry.span_stats phase with
+      | Some (calls, _) ->
+        Alcotest.(check bool) (phase ^ " spanned") true (calls >= 1)
+      | None -> Alcotest.fail ("no span recorded for " ^ phase))
+    [ "rfn.abstract_mc"; "rfn.hybrid"; "rfn.concretize"; "rfn.refine" ];
+  (* one abstract-MC span per iteration, and the engine counters the
+     paper's tables are built from must be live *)
+  (match Telemetry.span_stats "rfn.abstract_mc" with
+  | Some (calls, _) ->
+    Alcotest.(check int) "one abstract-MC span per iteration" iterations calls
+  | None -> assert false);
+  Alcotest.(check bool) "BDD cache counters live" true
+    (Telemetry.counter_value (Telemetry.counter "bdd.cache_misses") > 0);
+  Alcotest.(check bool) "ATPG solve counter live" true
+    (Telemetry.counter_value (Telemetry.counter "atpg.solves") > 0)
+
 let test_agrees_with_brute_force () =
   (* Random designs: RFN's verdict must match explicit-state search. *)
   let count = ref 0 in
@@ -68,6 +108,8 @@ let tests =
     Alcotest.test_case "counter limit is falsified" `Quick
       test_counter_limit_reachable;
     Alcotest.test_case "deep planted bug is found" `Quick test_deep_bug;
+    Alcotest.test_case "all CEGAR phases produce spans" `Quick
+      test_cegar_phase_spans;
     Alcotest.test_case "verdicts agree with brute force" `Slow
       test_agrees_with_brute_force;
   ]
