@@ -186,6 +186,9 @@ let bench_json ~quick () =
   in
   let g_nodes = Telemetry.gauge "bdd.live_nodes" in
   let c_backtracks = Telemetry.counter "atpg.backtracks" in
+  let c_retries = Telemetry.counter "supervisor.retries" in
+  let c_fallbacks = Telemetry.counter "supervisor.fallbacks" in
+  let c_escalations = Telemetry.counter "supervisor.escalations" in
   let was_enabled = Telemetry.enabled () in
   let rows =
     List.map
@@ -197,7 +200,7 @@ let bench_json ~quick () =
           match outcome with
           | Rfn.Proved -> "T"
           | Rfn.Falsified _ -> "F"
-          | Rfn.Aborted why -> "abort: " ^ why
+          | Rfn.Aborted why -> "abort: " ^ Rfn_failure.to_string why
         in
         Format.printf "  %-28s %-6s %6.2fs  %d iteration(s)@." name result
           stats.Rfn.seconds
@@ -213,6 +216,9 @@ let bench_json ~quick () =
             ("peak_bdd_nodes", Json.Int (Telemetry.gauge_peak g_nodes));
             ( "atpg_backtracks",
               Json.Int (Telemetry.counter_value c_backtracks) );
+            ("retries", Json.Int (Telemetry.counter_value c_retries));
+            ("fallbacks", Json.Int (Telemetry.counter_value c_fallbacks));
+            ("escalations", Json.Int (Telemetry.counter_value c_escalations));
           ])
       workloads
   in

@@ -16,12 +16,13 @@ let load path =
   | Failure msg -> Error msg
   | Sys_error msg -> Error msg
 
-let config_of ~max_seconds ~node_limit ~max_iterations =
+let config_of ~max_seconds ~node_limit ~max_iterations ~inject =
   {
     Rfn.default_config with
     Rfn.max_seconds;
     node_limit;
     max_iterations;
+    inject;
   }
 
 (* Shared telemetry flags: --metrics-out streams JSONL events,
@@ -85,9 +86,17 @@ let verify_cmd =
   in
   let baseline = Arg.(value & flag & info [ "baseline" ]
                         ~doc:"Also run plain COI model checking.") in
+  (* Hidden chaos-testing knob: force one fault per listed supervisor
+     site and watch the retry/fallback ladders recover. *)
+  let inject_faults =
+    Arg.(
+      value
+      & opt ~vopt:(Some "all") (some string) None
+      & info [ "inject-faults" ] ~docv:"SITES" ~docs:Cmdliner.Manpage.s_none)
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
-  let run netlist prop seconds nodes iters trace_out baseline metrics_out
-      profile verbose =
+  let run netlist prop seconds nodes iters trace_out baseline inject_faults
+      metrics_out profile verbose =
     setup_logs verbose;
     match load netlist with
     | Error msg ->
@@ -99,6 +108,24 @@ let verify_cmd =
         Format.eprintf "error: no output named %S@." prop;
         1
       | property -> (
+        match
+          match inject_faults with
+          | None -> Ok None
+          | Some spec -> (
+            (* "off" parses to no hook; still pass an inert one so the
+               environment variable cannot re-enable injection *)
+            try
+              Ok
+                (Some
+                   (match Rfn_core.Supervisor.inject_of_spec spec with
+                   | Some hook -> hook
+                   | None -> fun _ -> None))
+            with Invalid_argument msg -> Error msg)
+        with
+        | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          1
+        | Ok inject -> (
         match setup_telemetry ~metrics_out ~profile with
         | Error msg ->
           Format.eprintf "error: %s@." msg;
@@ -106,7 +133,7 @@ let verify_cmd =
         | Ok () -> (
         let config =
           config_of ~max_seconds:seconds ~node_limit:nodes
-            ~max_iterations:iters
+            ~max_iterations:iters ~inject
         in
         let outcome, stats = Rfn.verify ~config circuit property in
         Format.printf
@@ -123,7 +150,7 @@ let verify_cmd =
             (match verdict with
             | `Proved -> "True"
             | `Reached k -> Printf.sprintf "False at depth %d" k
-            | `Aborted why -> "fails — " ^ why)
+            | `Aborted r -> "fails — " ^ Rfn_failure.resource_to_string r)
             secs
         end;
         teardown_telemetry ~profile;
@@ -146,15 +173,16 @@ let verify_cmd =
             Format.printf "%a@." (Trace.pp ~names:(Circuit.name circuit)) trace);
           2
         | Rfn.Aborted why ->
-          Format.printf "RESULT: inconclusive (%s)@." why;
-          3)))
+          Format.printf "RESULT: inconclusive (%s)@."
+            (Rfn_failure.to_string why);
+          3))))
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Verify that an output signal can never be driven to 1.")
     Term.(
       const run $ netlist $ prop $ seconds $ nodes $ iters $ trace_out
-      $ baseline $ metrics_out_arg $ profile_arg $ verbose)
+      $ baseline $ inject_faults $ metrics_out_arg $ profile_arg $ verbose)
 
 (* ---- rfn coverage --------------------------------------------------- *)
 

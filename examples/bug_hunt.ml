@@ -50,7 +50,7 @@ let () =
       (match unguided with
       | Concretize.Found _ -> "found it too"
       | Concretize.Not_found_here -> "proved empty (?)"
-      | Concretize.Gave_up -> "gave up")
+      | Concretize.Gave_up _ -> "gave up")
       ustats.Rfn_atpg.Atpg.decisions ustats.Rfn_atpg.Atpg.backtracks;
     (* the first few cycles of the trace, restricted to the interesting
        control registers *)
@@ -74,4 +74,5 @@ let () =
     done;
     Format.printf "  ... (%d more cycles)@." (max 0 (Trace.length trace - 7))
   | Rfn.Proved, _ -> Format.printf "unexpectedly proved — the bug is planted!@."
-  | Rfn.Aborted why, _ -> Format.printf "aborted: %s@." why
+  | Rfn.Aborted why, _ ->
+    Format.printf "aborted: %s@." (Rfn_failure.to_string why)

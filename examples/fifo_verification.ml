@@ -35,7 +35,8 @@ let () =
               | None -> ""))
           stats.Rfn.iterations
       | Rfn.Falsified _, _ -> Format.printf "  RFN: False (unexpected!)@."
-      | Rfn.Aborted why, _ -> Format.printf "  RFN: aborted (%s)@." why);
+      | Rfn.Aborted why, _ ->
+        Format.printf "  RFN: aborted (%s)@." (Rfn_failure.to_string why));
       (* the baseline the paper compares against *)
       let baseline, secs =
         Rfn.check_coi_model_checking ~max_seconds:30.0 circuit prop
@@ -44,6 +45,6 @@ let () =
         (match baseline with
         | `Proved -> "True"
         | `Reached k -> Printf.sprintf "False at depth %d" k
-        | `Aborted why -> "fails — " ^ why)
+        | `Aborted r -> "fails — " ^ Rfn_failure.resource_to_string r)
         secs)
     [ fifo.psh_hf; fifo.psh_af; fifo.psh_full ]

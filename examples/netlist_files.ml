@@ -64,7 +64,8 @@ let () =
         Format.printf "%s is reachable:@.%a@." name
           (Trace.pp ~names:(Circuit.name circuit))
           t
-      | Rfn.Aborted why, _ -> Format.printf "%s aborted: %s@." name why)
+      | Rfn.Aborted why, _ ->
+        Format.printf "%s aborted: %s@." name (Rfn_failure.to_string why))
     [ "overflow"; "mismatch" ];
   let prop = Property.of_output circuit "overflow" in
   (* write the COI-reduced design back out as a netlist *)

@@ -36,7 +36,8 @@ let () =
     Format.printf "FALSIFIED:@.%a@."
       (Trace.pp ~names:(Circuit.name circuit))
       trace
-  | Rfn.Aborted why, _ -> Format.printf "ABORTED: %s@." why);
+  | Rfn.Aborted why, _ ->
+    Format.printf "ABORTED: %s@." (Rfn_failure.to_string why));
 
   (* Now a false property: the arbiter *does* grant client 0 at some
      point, so "g0 never rises" is violated — RFN produces a concrete
@@ -55,4 +56,5 @@ let () =
       trace;
     assert (Rfn_sim3v.Sim3v.replay_concrete c2 trace ~bad:never_granted.Property.bad)
   | Rfn.Proved, _ -> Format.printf "unexpectedly proved@."
-  | Rfn.Aborted why, _ -> Format.printf "ABORTED: %s@." why
+  | Rfn.Aborted why, _ ->
+    Format.printf "ABORTED: %s@." (Rfn_failure.to_string why)

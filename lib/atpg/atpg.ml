@@ -6,7 +6,7 @@ let c_backtracks = Telemetry.counter "atpg.backtracks"
 let c_solves = Telemetry.counter "atpg.solves"
 let c_aborts = Telemetry.counter "atpg.aborts"
 
-type answer = Sat of Trace.t | Unsat | Abort
+type answer = Sat of Trace.t | Unsat | Abort of Rfn_failure.resource
 type stats = { decisions : int; backtracks : int }
 type limits = { max_backtracks : int; max_seconds : float option }
 
@@ -334,8 +334,9 @@ let backtrack sol =
         d.tried_both <- true;
         d.value <- not d.value;
         sol.n_backtracks <- sol.n_backtracks + 1;
-        if sol.n_backtracks > sol.limits.max_backtracks || time_exceeded sol
-        then raise (Stop Abort);
+        if sol.n_backtracks > sol.limits.max_backtracks then
+          raise (Stop (Abort Rfn_failure.Backtracks));
+        if time_exceeded sol then raise (Stop (Abort Rfn_failure.Time));
         set_cell sol d.cell (of_bool d.value);
         propagate sol [ d.cell ]
       end
@@ -360,7 +361,7 @@ let search sol =
         in
         sol.decisions_stack <- d :: sol.decisions_stack;
         sol.n_decisions <- sol.n_decisions + 1;
-        if time_exceeded sol then raise (Stop Abort);
+        if time_exceeded sol then raise (Stop (Abort Rfn_failure.Time));
         set_cell sol dcell (of_bool vd);
         propagate sol [ dcell ];
         loop ()
@@ -435,5 +436,5 @@ let solve ?(free_init = false) ?(limits = default_limits) view ~frames ~pins ()
   Telemetry.incr c_solves;
   Telemetry.add c_decisions sol.n_decisions;
   Telemetry.add c_backtracks sol.n_backtracks;
-  if answer = Abort then Telemetry.incr c_aborts;
+  (match answer with Abort _ -> Telemetry.incr c_aborts | _ -> ());
   (answer, { decisions = sol.n_decisions; backtracks = sol.n_backtracks })

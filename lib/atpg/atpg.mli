@@ -33,7 +33,10 @@ type answer =
           [frames] states and [frames] input cubes (the last one is the
           final-cycle witness). *)
   | Unsat  (** The requirements are unsatisfiable — a proof. *)
-  | Abort  (** A resource limit was hit first. *)
+  | Abort of Rfn_failure.resource
+      (** A resource limit was hit first: [Backtracks] (the budget can
+          be escalated and the search retried) or [Time] (terminal for
+          this run's wall-clock budget). *)
 
 type stats = { decisions : int; backtracks : int }
 

@@ -26,6 +26,6 @@ let falsify ?(limits = Atpg.default_limits) circuit ~bad ~max_depth =
         if Sim3v.replay_concrete circuit t ~bad then (Found t, !total)
         else (Gave_up depth, !total) (* engine bug guard *)
       | Atpg.Unsat -> deepen (depth + 1)
-      | Atpg.Abort -> (Gave_up depth, !total)
+      | Atpg.Abort _ -> (Gave_up depth, !total)
   in
   deepen 1

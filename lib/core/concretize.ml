@@ -6,7 +6,10 @@ module Telemetry = Rfn_obs.Telemetry
 let c_attempts = Telemetry.counter "concretize.attempts"
 let c_found = Telemetry.counter "concretize.found"
 
-type outcome = Found of Trace.t | Not_found_here | Gave_up
+type outcome =
+  | Found of Trace.t
+  | Not_found_here
+  | Gave_up of Rfn_failure.resource
 
 let trace_pins trace =
   let pins = ref [] in
@@ -34,9 +37,11 @@ let run ~limits circuit ~bad ~frames ~pins =
           Telemetry.incr c_found;
           (Found t, stats)
         end
-        else (Gave_up, stats) (* engine bug guard: never report unvalidated *)
+        else
+          (* engine bug guard: never report unvalidated *)
+          (Gave_up (Rfn_failure.Invariant "unvalidated counterexample"), stats)
       | Atpg.Unsat, stats -> (Not_found_here, stats)
-      | Atpg.Abort, stats -> (Gave_up, stats))
+      | Atpg.Abort r, stats -> (Gave_up r, stats))
 
 let guided ?(limits = Atpg.default_limits) circuit ~bad ~abstract_trace =
   run ~limits circuit ~bad
@@ -51,17 +56,19 @@ let guided_any ?(limits = Atpg.default_limits) circuit ~bad ~abstract_traces =
     }
   in
   let zero = { Atpg.decisions = 0; backtracks = 0 } in
-  let rec go acc all_unsat = function
-    | [] -> ((if all_unsat then Not_found_here else Gave_up), acc)
+  let rec go acc gave_up = function
+    | [] -> (
+      ( (match gave_up with None -> Not_found_here | Some r -> Gave_up r),
+        acc ))
     | t :: rest -> (
       match guided ~limits circuit ~bad ~abstract_trace:t with
       | Found trace, stats -> (Found trace, sum acc stats)
-      | Not_found_here, stats -> go (sum acc stats) all_unsat rest
-      | Gave_up, stats -> go (sum acc stats) false rest)
+      | Not_found_here, stats -> go (sum acc stats) gave_up rest
+      | Gave_up r, stats -> go (sum acc stats) (Some r) rest)
   in
   if abstract_traces = [] then
     invalid_arg "Concretize.guided_any: no abstract traces"
-  else go zero true abstract_traces
+  else go zero None abstract_traces
 
 let guided_to_trace ?(limits = Atpg.default_limits) circuit ~abstract_trace =
   let view = Sview.whole circuit ~roots:[] in
@@ -72,7 +79,7 @@ let guided_to_trace ?(limits = Atpg.default_limits) circuit ~abstract_trace =
   with
   | Atpg.Sat t, stats -> (Found t, stats)
   | Atpg.Unsat, stats -> (Not_found_here, stats)
-  | Atpg.Abort, stats -> (Gave_up, stats)
+  | Atpg.Abort r, stats -> (Gave_up r, stats)
 
 let unguided ?(limits = Atpg.default_limits) circuit ~bad ~depth =
   run ~limits circuit ~bad ~frames:depth ~pins:[]

@@ -11,7 +11,9 @@ type outcome =
   | Found of Rfn_circuit.Trace.t
       (** concrete counterexample (validated by 3-valued replay) *)
   | Not_found_here  (** ATPG proved the guided search space empty *)
-  | Gave_up  (** resource limit *)
+  | Gave_up of Rfn_failure.resource
+      (** resource limit ([Backtracks] is worth escalating, [Time] is
+          terminal) or an invariant slip (an unvalidated trace) *)
 
 val guided :
   ?limits:Rfn_atpg.Atpg.limits ->

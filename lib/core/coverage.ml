@@ -198,7 +198,8 @@ let rfn_analysis ?(config = Rfn.default_config) circuit ~coverage =
             Hybrid.extract ~atpg_limits:config.Rfn.abstract_atpg vm
               ~rings:res.Reach.rings ~target:unknown_states ~k
           with
-          | exception (Failure _ | Bdd.Limit_exceeded) -> done_ regs_now
+          | exception (Hybrid.Extraction_failed _ | Bdd.Limit_exceeded) ->
+            done_ regs_now
           | hybrid -> (
             let abstract_trace = hybrid.Hybrid.trace in
             let refine_and_continue () =
@@ -220,7 +221,7 @@ let rfn_analysis ?(config = Rfn.default_config) circuit ~coverage =
               let marked = mark_reachable circuit ~coverage ~status t in
               if marked = 0 then refine_and_continue ()
               else iterate ~previous:vm abstraction (iter + 1)
-            | (Concretize.Not_found_here | Concretize.Gave_up), _ ->
+            | (Concretize.Not_found_here | Concretize.Gave_up _), _ ->
               refine_and_continue ())
         in
         match res.Reach.outcome with

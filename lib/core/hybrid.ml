@@ -11,6 +11,8 @@ let c_no_cut = Telemetry.counter "hybrid.no_cut_steps"
 let c_min_cut = Telemetry.counter "hybrid.min_cut_steps"
 let c_retries = Telemetry.counter "hybrid.cube_retries"
 
+exception Extraction_failed of Rfn_failure.resource
+
 type result = {
   trace : Trace.t;
   cut_size : int;
@@ -31,9 +33,11 @@ let split view cube_lits =
     cube_lits;
   (List.rev !regs, List.rev !inps, List.rev !internal)
 
-let rec extract_multi ?atpg_limits ?max_cube_tries ~count vm ~rings ~target ~k
-    =
-  let first = extract ?atpg_limits ?max_cube_tries vm ~rings ~target ~k in
+let rec extract_multi ?atpg_limits ?max_cube_tries ?use_mincut ~count vm
+    ~rings ~target ~k =
+  let first =
+    extract ?atpg_limits ?max_cube_tries ?use_mincut vm ~rings ~target ~k
+  in
   if count <= 1 then [ first ]
   else begin
     (* Exclude this trace's final state/input cube and pull another
@@ -56,20 +60,29 @@ let rec extract_multi ?atpg_limits ?max_cube_tries ~count vm ~rings ~target ~k
     if Bdd.is_zero (Bdd.dand man rings.(k) remaining) then [ first ]
     else
       first
-      :: extract_multi ?atpg_limits ?max_cube_tries ~count:(count - 1) vm
-           ~rings ~target:remaining ~k
+      :: extract_multi ?atpg_limits ?max_cube_tries ?use_mincut
+           ~count:(count - 1) vm ~rings ~target:remaining ~k
   end
 
-and extract ?(atpg_limits = Atpg.default_limits) ?(max_cube_tries = 64) vm
-    ~rings ~target ~k =
+and extract ?(atpg_limits = Atpg.default_limits) ?(max_cube_tries = 64)
+    ?(use_mincut = true) vm ~rings ~target ~k =
   let man = Varmap.man vm in
   let view = Varmap.view vm in
   let target = Bdd.protect man target in
   (* Min-cut design of the abstract model; its cut signals get input
-     variables so pre-image cubes can mention them. *)
-  let mc = Mincut.compute view in
-  Varmap.add_input_vars vm mc.Mincut.cut;
-  let fn_mc = Symbolic.functions_for vm mc.Mincut.mc in
+     variables so pre-image cubes can mention them. With
+     [use_mincut:false] (the supervisor's fallback when the min-cut
+     path fails) pre-images run directly on the abstract model: every
+     cube is then a no-cut cube and ATPG extension is never needed, at
+     the cost of pre-imaging over all free inputs. *)
+  let cut_size, fn_mc =
+    if use_mincut then begin
+      let mc = Mincut.compute view in
+      Varmap.add_input_vars vm mc.Mincut.cut;
+      (List.length mc.Mincut.cut, Symbolic.functions_for vm mc.Mincut.mc)
+    end
+    else (Sview.num_free_inputs view, Symbolic.functions vm)
+  in
   let no_cut_steps = ref 0 and min_cut_steps = ref 0 in
   (* Final cycle: fattest cube of ring k ∧ bad-function, giving the
      last state cube and the final-cycle input witness. *)
@@ -91,7 +104,7 @@ and extract ?(atpg_limits = Atpg.default_limits) ?(max_cube_tries = 64) vm
     match Atpg.solve ~free_init:true ~limits:atpg_limits view ~frames:1 ~pins ()
     with
     | Atpg.Sat t, _ -> Some (Trace.state t 0, Trace.input t 0)
-    | (Atpg.Unsat | Atpg.Abort), _ -> None
+    | (Atpg.Unsat | Atpg.Abort _), _ -> None
   in
   for j = k downto 1 do
     if
@@ -105,12 +118,14 @@ and extract ?(atpg_limits = Atpg.default_limits) ?(max_cube_tries = 64) vm
     in
     let r = Bdd.dand man rings.(j - 1) pre in
     if Bdd.is_zero r then
-      failwith "Hybrid.extract: empty pre-image (ring invariant broken)";
+      raise
+        (Extraction_failed
+           (Rfn_failure.Invariant "empty pre-image (ring invariant broken)"));
     (* Enumerate cubes of r fattest-first until one yields a no-cut
        cube, as the paper prescribes. *)
     let rec attempt remaining tries =
       if tries > max_cube_tries || Bdd.is_zero remaining then
-        failwith "Hybrid.extract: no extendable cube found"
+        raise (Extraction_failed Rfn_failure.Cube_tries)
       else
         let bdd_cube = Bdd.fattest_cube man remaining in
         let lits = Varmap.cube_of_bdd_cube vm bdd_cube in
@@ -139,7 +154,7 @@ and extract ?(atpg_limits = Atpg.default_limits) ?(max_cube_tries = 64) vm
   done;
   {
     trace = Trace.make ~states ~inputs;
-    cut_size = List.length mc.Mincut.cut;
+    cut_size;
     model_inputs = Sview.num_free_inputs view;
     no_cut_steps = !no_cut_steps;
     min_cut_steps = !min_cut_steps;

@@ -17,15 +17,24 @@ type result = {
       (** abstract error trace: k+1 state cubes over N's registers and
           k+1 input cubes over N's free inputs (the last is the
           final-cycle witness for the bad signal) *)
-  cut_size : int;  (** primary inputs of the min-cut design *)
+  cut_size : int;
+      (** primary inputs of the min-cut design (with [use_mincut:false],
+          the free-input count of the abstract model — the trivial cut) *)
   model_inputs : int;  (** free inputs of the abstract model *)
   no_cut_steps : int;  (** pre-image steps solved without ATPG *)
   min_cut_steps : int;  (** steps needing ATPG cube extension *)
 }
 
+exception Extraction_failed of Rfn_failure.resource
+(** Raised when no cube can be extended within the per-step attempt
+    budget ([Cube_tries]) or when a ring invariant is broken
+    ([Invariant _]) — structured so the supervisor can pick a fallback
+    without string matching. *)
+
 val extract :
   ?atpg_limits:Rfn_atpg.Atpg.limits ->
   ?max_cube_tries:int ->
+  ?use_mincut:bool ->
   Rfn_mc.Varmap.t ->
   rings:Rfn_bdd.Bdd.t array ->
   target:Rfn_bdd.Bdd.t ->
@@ -35,13 +44,21 @@ val extract :
     [target], a predicate over the view's current-state and input
     variables (for an unreachability property: the bad signal's
     function; for coverage analysis: the unknown coverage states).
-    Raises [Failure] if no cube can be extended within
+    Raises {!Extraction_failed} if no cube can be extended within
     [max_cube_tries] ATPG attempts per step (default 64), and may
-    propagate [Rfn_bdd.Bdd.Limit_exceeded]. *)
+    propagate [Rfn_bdd.Bdd.Limit_exceeded].
+
+    [use_mincut] (default [true]) selects the paper's min-cut pre-image
+    path; [false] is the degraded pure pre-image mode — pre-images run
+    directly on the abstract model, every cube is a no-cut cube and the
+    combinational-ATPG extension is never needed. Slower on models with
+    many free inputs, but immune to min-cut-path failures; the engine
+    supervisor uses it as the fallback. *)
 
 val extract_multi :
   ?atpg_limits:Rfn_atpg.Atpg.limits ->
   ?max_cube_tries:int ->
+  ?use_mincut:bool ->
   count:int ->
   Rfn_mc.Varmap.t ->
   rings:Rfn_bdd.Bdd.t array ->

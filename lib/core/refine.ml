@@ -97,7 +97,7 @@ let trace_satisfiable ~atpg_limits abstraction ~abstract_trace ~bad =
   match Atpg.solve ~limits:atpg_limits view ~frames:k ~pins:!pins () with
   | Atpg.Sat _, _ -> `Sat
   | Atpg.Unsat, _ -> `Unsat
-  | Atpg.Abort, _ -> `Abort
+  | Atpg.Abort _, _ -> `Abort
 
 let crucial_registers ?(atpg_limits = Atpg.default_limits) ?(max_fallback = 8)
     ?bad abstraction ~abstract_trace () =

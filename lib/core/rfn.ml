@@ -6,6 +6,7 @@ module Image = Rfn_mc.Image
 module Reach = Rfn_mc.Reach
 module Atpg = Rfn_atpg.Atpg
 module Telemetry = Rfn_obs.Telemetry
+module F = Rfn_failure
 
 let src = Logs.Src.create "rfn" ~doc:"RFN abstraction refinement"
 
@@ -19,6 +20,8 @@ type config = {
   abstract_atpg : Atpg.limits;
   concrete_atpg : Atpg.limits;
   guidance_traces : int;
+  supervisor : Supervisor.policy;
+  inject : (Supervisor.site -> Supervisor.fault option) option;
 }
 
 let default_config =
@@ -30,6 +33,8 @@ let default_config =
     abstract_atpg = { Atpg.max_backtracks = 50_000; max_seconds = Some 20.0 };
     concrete_atpg = { Atpg.max_backtracks = 200_000; max_seconds = Some 60.0 };
     guidance_traces = 1;
+    supervisor = Supervisor.default_policy;
+    inject = None;
   }
 
 type iteration = {
@@ -53,10 +58,14 @@ type stats = {
   seconds : float;
 }
 
-type outcome = Proved | Falsified of Trace.t | Aborted of string
+type outcome = Proved | Falsified of Trace.t | Aborted of F.t
 
 let verify ?(config = default_config) circuit prop =
   let started = Telemetry.now () in
+  let sup =
+    Supervisor.start ?inject:config.inject config.supervisor
+      ~max_seconds:config.max_seconds
+  in
   let bad = prop.Property.bad in
   let coi = Coi.compute circuit ~roots:(Property.roots prop) in
   let iterations = ref [] in
@@ -72,22 +81,15 @@ let verify ?(config = default_config) circuit prop =
         seconds = Telemetry.now () -. started;
       } )
   in
-  (* Remaining wall-clock budget, clamped at zero so a blown budget is
-     never handed to Reach.run or the ATPG engines as a negative
-     limit. *)
-  let time_left () =
-    match config.max_seconds with
-    | None -> None
-    | Some budget ->
-      Some (Float.max 0.0 (budget -. (Telemetry.now () -. started)))
-  in
-  let out_of_time () =
-    match time_left () with Some r -> r <= 0.0 | None -> false
+  let time_left () = Supervisor.time_left sup in
+  let loop_failure iter resource =
+    F.make ~iteration:iter ~engine:F.Cegar ~phase:F.Loop resource
   in
   let rec iterate ?previous abstraction iter =
     if iter > config.max_iterations then
-      finish abstraction (Aborted "iteration limit")
-    else if out_of_time () then finish abstraction (Aborted "time limit")
+      finish abstraction (Aborted (loop_failure iter F.Iterations))
+    else if Supervisor.out_of_time sup then
+      finish abstraction (Aborted (loop_failure iter F.Time))
     else begin
       let view = abstraction.Abstraction.view in
       Log.info (fun m ->
@@ -115,24 +117,54 @@ let verify ?(config = default_config) circuit prop =
             Rfn_obs.Json.Int (Abstraction.num_regs abstraction) );
         ]
       in
-      (* Step 2: prove or find an abstract error trace. *)
-      match
+      (* Step 2: prove or find an abstract error trace. Ladder: the
+         plain fixpoint, then (on a BDD node blow-up) a rebuild with a
+         fresh FORCE variable order, then one more with a grown node
+         budget. *)
+      let mc_attempt ~node_limit ~seed () =
+        match
+          let vm = Varmap.make ~node_limit ?previous:seed view in
+          let fn = Symbolic.functions vm in
+          let img = Image.make vm in
+          let init = Symbolic.initial_states vm in
+          let bad_states = Reach.bad_predicate vm ~fn ~bad in
+          let res =
+            Reach.run ~max_steps:config.mc_max_steps
+              ?max_seconds:(time_left ()) img ~vm ~init ~bad_states
+          in
+          (vm, fn, res)
+        with
+        | exception Bdd.Limit_exceeded -> Error F.Nodes
+        | (_, _, res) as v -> (
+          match res.Reach.outcome with
+          | Reach.Aborted r when F.retryable_resource r -> Error r
+          | _ -> Ok v)
+      in
+      let mc =
         Telemetry.with_span "rfn.abstract_mc" ~attrs (fun () ->
-            let vm = Varmap.make ~node_limit:config.node_limit ?previous view in
-            let fn = Symbolic.functions vm in
-            let img = Image.make vm in
-            let init = Symbolic.initial_states vm in
-            let bad_states = Reach.bad_predicate vm ~fn ~bad in
-            let res =
-              Reach.run ~max_steps:config.mc_max_steps
-                ?max_seconds:(time_left ()) img ~vm ~init ~bad_states
-            in
-            (vm, fn, res))
-      with
-      | exception Bdd.Limit_exceeded ->
+            Supervisor.run sup ~site:Supervisor.Abstract_mc ~engine:F.Bdd_mc
+              ~phase:F.Abstract_mc ~iteration:iter
+              [
+                ( Supervisor.Primary,
+                  "fixpoint",
+                  mc_attempt ~node_limit:config.node_limit ~seed:previous );
+                ( Supervisor.Retry,
+                  "fixpoint+fresh-order",
+                  mc_attempt ~node_limit:config.node_limit ~seed:None );
+                ( Supervisor.Retry,
+                  "fixpoint+node-budget",
+                  mc_attempt
+                    ~node_limit:
+                      (config.node_limit
+                      * (Supervisor.policy sup).Supervisor.node_limit_growth)
+                    ~seed:None );
+              ])
+      in
+      match mc with
+      | Error failure ->
         record 0;
-        finish abstraction (Aborted "BDD node limit while building model")
-      | vm, fn, res -> (
+        finish abstraction (Aborted failure)
+      | Ok (vm, fn, res) -> (
         match res.Reach.outcome with
         | Reach.Proved ->
           record res.Reach.steps;
@@ -145,31 +177,56 @@ let verify ?(config = default_config) circuit prop =
           record res.Reach.steps;
           finish abstraction
             (Aborted
-               "internal: reachability closed with a bad intersection \
-                despite stop_at_bad")
-        | Reach.Aborted why ->
+               (F.make ~iteration:iter ~engine:F.Bdd_mc ~phase:F.Abstract_mc
+                  (F.Invariant
+                     "reachability closed with a bad intersection despite \
+                      stop_at_bad")))
+        | Reach.Aborted r ->
+          (* terminal resource (time or step bound) — the ladder does
+             not retry those *)
           record res.Reach.steps;
-          finish abstraction (Aborted ("fixpoint: " ^ why))
+          finish abstraction
+            (Aborted
+               (F.make ~iteration:iter ~engine:F.Bdd_mc ~phase:F.Abstract_mc r))
         | Reach.Reached k -> (
-          match
+          (* Step 2b: abstract error trace. Ladder: the paper's min-cut
+             pre-image path, then pure pre-image on the abstract model
+             (no cut, no ATPG cube extension). *)
+          let hybrid_attempt ~use_mincut () =
+            match
+              Hybrid.extract_multi
+                ~atpg_limits:
+                  (Supervisor.clamp_limits sup Supervisor.Hybrid_extract
+                     config.abstract_atpg)
+                ~use_mincut
+                ~count:(max 1 config.guidance_traces)
+                vm ~rings:res.Reach.rings ~target:(fn bad) ~k
+            with
+            | exception Hybrid.Extraction_failed r -> Error r
+            | exception Bdd.Limit_exceeded -> Error F.Nodes
+            | [] ->
+              (* extract_multi promises at least one trace *)
+              Error (F.Invariant "hybrid engine returned no abstract traces")
+            | hybrids -> Ok hybrids
+          in
+          let extraction =
             Telemetry.with_span "rfn.hybrid" ~attrs (fun () ->
-                Hybrid.extract_multi ~atpg_limits:config.abstract_atpg
-                  ~count:(max 1 config.guidance_traces) vm
-                  ~rings:res.Reach.rings ~target:(fn bad) ~k)
-          with
-          | exception (Failure _ as e) ->
+                Supervisor.run sup ~site:Supervisor.Hybrid_extract
+                  ~engine:F.Hybrid ~phase:F.Trace_extraction ~iteration:iter
+                  [
+                    ( Supervisor.Primary,
+                      "min-cut",
+                      hybrid_attempt ~use_mincut:true );
+                    ( Supervisor.Fallback,
+                      "pure-preimage",
+                      hybrid_attempt ~use_mincut:false );
+                  ])
+          in
+          match extraction with
+          | Error failure ->
             record res.Reach.steps;
-            finish abstraction (Aborted (Printexc.to_string e))
-          | exception Bdd.Limit_exceeded ->
-            record res.Reach.steps;
-            finish abstraction (Aborted "BDD node limit in hybrid engine")
-          | [] ->
-            (* extract_multi promises at least one trace; degrade an
-               invariant slip into a reported abort *)
-            record res.Reach.steps;
-            finish abstraction
-              (Aborted "internal: hybrid engine returned no abstract traces")
-          | (hybrid :: _ as hybrids) -> (
+            finish abstraction (Aborted failure)
+          | Ok (hybrid :: _ as hybrids) -> (
             let abstract_trace = hybrid.Hybrid.trace in
             last_trace := Some abstract_trace;
             Log.info (fun m ->
@@ -177,46 +234,132 @@ let verify ?(config = default_config) circuit prop =
                   (List.length hybrids)
                   (Trace.length abstract_trace)
                   hybrid.Hybrid.cut_size hybrid.Hybrid.model_inputs);
-            (* Step 3: search on the original design. *)
-            let concrete, _ =
+            let record_hybrid ?(candidates = 0) ?(added = 0) () =
+              record ~cut_size:hybrid.Hybrid.cut_size
+                ~no_cut:hybrid.Hybrid.no_cut_steps
+                ~min_cut:hybrid.Hybrid.min_cut_steps
+                ~trace_length:(Trace.length abstract_trace) ~candidates ~added
+                res.Reach.steps
+            in
+            (* Step 3: search on the original design. A failure here is
+               never fatal — an injected or resource failure degrades to
+               a give-up, which escalates the backtrack budget for the
+               next iteration and refines. *)
+            let concrete =
               Telemetry.with_span "rfn.concretize" ~attrs (fun () ->
-                  Concretize.guided_any ~limits:config.concrete_atpg circuit
-                    ~bad
-                    ~abstract_traces:
-                      (List.map (fun h -> h.Hybrid.trace) hybrids))
+                  match
+                    Supervisor.run sup ~site:Supervisor.Concretize
+                      ~engine:F.Seq_atpg ~phase:F.Concretization
+                      ~iteration:iter
+                      [
+                        ( Supervisor.Primary,
+                          "guided-atpg",
+                          fun () ->
+                            let outcome, _stats =
+                              Concretize.guided_any
+                                ~limits:
+                                  (Supervisor.concrete_limits sup
+                                     config.concrete_atpg)
+                                circuit ~bad
+                                ~abstract_traces:
+                                  (List.map (fun h -> h.Hybrid.trace) hybrids)
+                            in
+                            Ok outcome );
+                      ]
+                  with
+                  | Ok outcome -> outcome
+                  | Error failure ->
+                    Concretize.Gave_up failure.F.resource)
             in
             match concrete with
             | Concretize.Found t ->
-              record ~cut_size:hybrid.Hybrid.cut_size
-                ~no_cut:hybrid.Hybrid.no_cut_steps
-                ~min_cut:hybrid.Hybrid.min_cut_steps
-                ~trace_length:(Trace.length abstract_trace) res.Reach.steps;
+              record_hybrid ();
               Log.info (fun m -> m "concrete counterexample found");
               finish abstraction (Falsified t)
-            | Concretize.Not_found_here | Concretize.Gave_up ->
-              (* Step 4: refine. *)
-              let r =
-                Telemetry.with_span "rfn.refine" ~attrs (fun () ->
-                    Refine.crucial_registers ~atpg_limits:config.abstract_atpg
-                      ~bad abstraction ~abstract_trace ())
-              in
-              record ~cut_size:hybrid.Hybrid.cut_size
-                ~no_cut:hybrid.Hybrid.no_cut_steps
-                ~min_cut:hybrid.Hybrid.min_cut_steps
-                ~trace_length:(Trace.length abstract_trace)
-                ~candidates:(List.length r.Refine.candidates)
-                ~added:(List.length r.Refine.kept) res.Reach.steps;
-              if r.Refine.kept = [] then
-                finish abstraction (Aborted "no crucial registers to add")
-              else begin
+            | Concretize.Not_found_here | Concretize.Gave_up _ -> (
+              (match concrete with
+              | Concretize.Gave_up r ->
                 Log.info (fun m ->
-                    m "refining with %d of %d candidate registers"
-                      (List.length r.Refine.kept)
-                      (List.length r.Refine.candidates));
+                    m "concretization gave up (%a); escalating backtrack \
+                       budget"
+                      F.pp_resource r);
+                Supervisor.escalate sup
+              | _ -> ());
+              (* Step 4: refine. Ladder: crucial registers, then (on an
+                 empty refinement) the highest-fanout pseudo-input, then
+                 a BMC re-check at the abstract trace's depth. *)
+              let crucial () =
+                let r =
+                  Refine.crucial_registers
+                    ~atpg_limits:
+                      (Supervisor.clamp_limits sup Supervisor.Refine
+                         config.abstract_atpg)
+                    ~bad abstraction ~abstract_trace ()
+                in
+                if r.Refine.kept = [] then Error F.No_refinement
+                else Ok (`Add (r.Refine.kept, List.length r.Refine.candidates))
+              in
+              let highest_fanout () =
+                match Abstraction.pseudo_inputs abstraction with
+                | [] ->
+                  (* no pseudo-inputs means the model is closed: the
+                     abstract trace should have concretized — let the
+                     BMC rung arbitrate *)
+                  Error (F.Invariant "closed abstract model, spurious trace")
+                | ps ->
+                  let fanout s = Array.length circuit.Circuit.fanouts.(s) in
+                  let best =
+                    List.fold_left
+                      (fun a s -> if fanout s > fanout a then s else a)
+                      (List.hd ps) (List.tl ps)
+                  in
+                  Ok (`Add ([ best ], List.length ps))
+              in
+              let bmc_recheck () =
+                match
+                  Bmc.falsify
+                    ~limits:(Supervisor.concrete_limits sup config.concrete_atpg)
+                    circuit ~bad ~max_depth:(Trace.length abstract_trace)
+                with
+                | Bmc.Found t, _ -> Ok (`Cex t)
+                | Bmc.Exhausted, _ -> Error F.No_refinement
+                | Bmc.Gave_up _, _ -> Error F.Backtracks
+              in
+              let refinement =
+                Telemetry.with_span "rfn.refine" ~attrs (fun () ->
+                    Supervisor.run sup ~site:Supervisor.Refine
+                      ~engine:F.Seq_atpg ~phase:F.Refinement ~iteration:iter
+                      [
+                        (Supervisor.Primary, "crucial-registers", crucial);
+                        (Supervisor.Fallback, "highest-fanout", highest_fanout);
+                        (Supervisor.Fallback, "bmc-recheck", bmc_recheck);
+                      ])
+              in
+              match refinement with
+              | Ok (`Add (regs, candidates)) ->
+                record_hybrid ~candidates ~added:(List.length regs) ();
+                Log.info (fun m ->
+                    m "refining with %d register(s) (%d candidates)"
+                      (List.length regs) candidates);
                 iterate ~previous:vm
-                  (Abstraction.refine abstraction ~add:r.Refine.kept)
+                  (Abstraction.refine abstraction ~add:regs)
                   (iter + 1)
-              end)))
+              | Ok (`Cex t) ->
+                record_hybrid ();
+                Log.info (fun m ->
+                    m "BMC re-check found a concrete counterexample");
+                finish abstraction (Falsified t)
+              | Error failure ->
+                record_hybrid ();
+                finish abstraction (Aborted failure)))
+          | Ok [] ->
+            (* unreachable: the ladder maps [] to an Error *)
+            record res.Reach.steps;
+            finish abstraction
+              (Aborted
+                 (F.make ~iteration:iter ~engine:F.Hybrid
+                    ~phase:F.Trace_extraction
+                    (F.Invariant "hybrid engine returned no abstract traces")))))
     end
   in
   iterate (Abstraction.initial circuit ~roots:(Property.roots prop)) 1
@@ -236,11 +379,11 @@ let check_coi_model_checking ?(node_limit = 2_000_000) ?(max_steps = 10_000)
       let bad_states = Reach.bad_predicate vm ~fn ~bad in
       Reach.run ~max_steps ?max_seconds img ~vm ~init ~bad_states
     with
-    | exception Bdd.Limit_exceeded -> `Aborted "BDD node limit"
+    | exception Bdd.Limit_exceeded -> `Aborted F.Nodes
     | res -> (
       match res.Reach.outcome with
       | Reach.Proved -> `Proved
       | Reach.Reached k | Reach.Closed k -> `Reached k
-      | Reach.Aborted why -> `Aborted why)
+      | Reach.Aborted r -> `Aborted r)
   in
   (result, Telemetry.now () -. started)

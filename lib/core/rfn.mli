@@ -13,7 +13,16 @@
     repeated until the property is proved on an abstract model (then it
     holds for the design), a concrete counterexample is found, or a
     resource limit is exceeded. Symbolic image computation is never
-    performed on the original design. *)
+    performed on the original design.
+
+    Every engine invocation runs under the {!Supervisor}: a BDD node
+    blow-up retries the fixpoint with a fresh variable order and then a
+    grown node budget, a min-cut extraction failure falls back to pure
+    pre-image, a concretization give-up escalates the ATPG backtrack
+    budget for later iterations, and an empty refinement falls back to
+    the highest-fanout pseudo-input and finally a BMC re-check. Failures
+    that survive the ladders surface as [Aborted] with a structured
+    {!Rfn_failure.t}. *)
 
 type config = {
   max_iterations : int;
@@ -21,7 +30,11 @@ type config = {
   mc_max_steps : int;  (** fixpoint step bound *)
   max_seconds : float option;
       (** overall wall-clock budget ({!Rfn_obs.Telemetry.now}); the
-          remaining budget handed to the engines is clamped at zero *)
+          remaining budget handed to the engines is clamped at zero,
+          and each supervised ATPG call gets at most its phase's share
+          of what remains ({!Supervisor.clamp_limits}) — so a run
+          overshoots the budget by at most one engine slice, bounded by
+          [supervisor.grace_seconds] in the tests *)
   abstract_atpg : Rfn_atpg.Atpg.limits;
       (** budget for hybrid cube extension and refinement checks *)
   concrete_atpg : Rfn_atpg.Atpg.limits;
@@ -30,6 +43,11 @@ type config = {
       (** how many abstract error traces to extract and try as guidance
           for the concrete search (default 1; values above 1 implement
           the paper's future-work multi-trace guidance) *)
+  supervisor : Supervisor.policy;
+      (** retry/escalation/fallback and deadline-sharing knobs *)
+  inject : (Supervisor.site -> Supervisor.fault option) option;
+      (** fault-injection hook for chaos testing; [None] (the default)
+          defers to the [RFN_INJECT_FAULTS] environment variable *)
 }
 
 val default_config : config
@@ -60,7 +78,10 @@ type stats = {
 type outcome =
   | Proved
   | Falsified of Rfn_circuit.Trace.t  (** validated concrete trace *)
-  | Aborted of string
+  | Aborted of Rfn_failure.t
+      (** which engine gave up, in which phase, on which resource, at
+          which iteration, after how many recovery attempts — render
+          with {!Rfn_failure.to_string} *)
 
 val verify :
   ?config:config ->
@@ -74,7 +95,7 @@ val check_coi_model_checking :
   ?max_seconds:float ->
   Rfn_circuit.Circuit.t ->
   Rfn_circuit.Property.t ->
-  [ `Proved | `Reached of int | `Aborted of string ] * float
+  [ `Proved | `Reached of int | `Aborted of Rfn_failure.resource ] * float
 (** The baseline the paper compares against: plain symbolic model
     checking of the property on the COI-reduced design (no
     abstraction). Returns the outcome and the wall-clock seconds

@@ -42,7 +42,7 @@ module Table1 = struct
           match outcome with
           | Rfn.Proved -> ("T", None)
           | Rfn.Falsified t -> ("F", Some (Trace.length t - 1))
-          | Rfn.Aborted why -> ("abort: " ^ why, None)
+          | Rfn.Aborted why -> ("abort: " ^ Rfn_failure.to_string why, None)
         in
         let baseline =
           if baseline then
@@ -54,7 +54,7 @@ module Table1 = struct
               ( (match verdict with
                 | `Proved -> "T"
                 | `Reached k -> Printf.sprintf "F@%d" k
-                | `Aborted why -> "fails (" ^ why ^ ")"),
+                | `Aborted r -> "fails (" ^ Rfn_failure.resource_to_string r ^ ")"),
                 secs )
           else None
         in

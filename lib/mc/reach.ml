@@ -5,7 +5,11 @@ let c_steps = Telemetry.counter "mc.fixpoint_steps"
 let g_frontier = Telemetry.gauge "mc.frontier_size"
 let g_reached = Telemetry.gauge "mc.reached_size"
 
-type outcome = Proved | Reached of int | Closed of int | Aborted of string
+type outcome =
+  | Proved
+  | Reached of int
+  | Closed of int
+  | Aborted of Rfn_failure.resource
 
 type result = {
   outcome : outcome;
@@ -48,8 +52,8 @@ let run ?(max_steps = max_int) ?max_seconds ?(stop_at_bad = true) img ~vm ~init
       | None -> finish Proved steps reached
     in
     let rec loop step reached frontier =
-      if step >= max_steps then finish (Aborted "step limit") step reached
-      else if over_time () then finish (Aborted "time limit") step reached
+      if step >= max_steps then finish (Aborted Rfn_failure.Steps) step reached
+      else if over_time () then finish (Aborted Rfn_failure.Time) step reached
       else begin
         (* Collect dead intermediates before each image once the store
            is three-quarters full; protected structures (transition
@@ -63,7 +67,7 @@ let run ?(max_steps = max_int) ?max_seconds ?(stop_at_bad = true) img ~vm ~init
           Bdd.diff man image reached
         with
         | exception Bdd.Limit_exceeded ->
-          finish (Aborted "node limit") step reached
+          finish (Aborted Rfn_failure.Nodes) step reached
         | fresh ->
           Telemetry.incr c_steps;
           if Bdd.is_zero fresh then closed step reached

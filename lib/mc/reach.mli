@@ -15,7 +15,11 @@ type outcome =
   | Closed of int
       (** fixpoint closed with [stop_at_bad:false]; ring [k] was the
           first to touch the target states *)
-  | Aborted of string  (** resource limit; the message says which *)
+  | Aborted of Rfn_failure.resource
+      (** resource limit: [Steps], [Time], or [Nodes]. Structured so
+          callers can tell a retryable abort (node budget — retry with
+          a reorder or a bigger budget) from a terminal one (wall-clock
+          budget) without string matching. *)
 
 type result = {
   outcome : outcome;

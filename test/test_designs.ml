@@ -35,7 +35,8 @@ let test_fifo_properties_hold_small () =
       | Rfn.Proved, _ -> ()
       | Rfn.Falsified _, _ -> Alcotest.fail (p.Property.name ^ " falsified!")
       | Rfn.Aborted why, _ ->
-        Alcotest.fail (p.Property.name ^ " aborted: " ^ why))
+        Alcotest.fail
+          (p.Property.name ^ " aborted: " ^ Rfn_failure.to_string why))
     [ fifo.psh_hf; fifo.psh_af; fifo.psh_full ]
 
 let test_fifo_random_simulation_no_violation () =

@@ -153,7 +153,7 @@ let test_varmap_previous_preserves_semantics () =
     | Reach.Proved -> "proved"
     | Reach.Reached k -> Printf.sprintf "reached %d" k
     | Reach.Closed k -> Printf.sprintf "closed %d" k
-    | Reach.Aborted w -> "abort " ^ w
+    | Reach.Aborted w -> "abort " ^ Rfn_failure.resource_to_string w
   in
   let fresh = Varmap.make a1.Abstraction.view in
   Alcotest.(check string) "same verdict" (verdict fresh) (verdict vm1);
@@ -196,7 +196,7 @@ let test_long_fixpoint_survives_tight_budget () =
   match Reach.run ~max_steps:200 img ~vm ~init ~bad_states with
   | { Reach.outcome = Reach.Reached 63; _ } -> ()
   | { Reach.outcome = Reach.Aborted why; _ } ->
-    Alcotest.fail ("aborted despite gc: " ^ why)
+    Alcotest.fail ("aborted despite gc: " ^ Rfn_failure.resource_to_string why)
   | _ -> Alcotest.fail "unexpected outcome"
 
 let test_gate_name_roundtrip () =

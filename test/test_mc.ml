@@ -277,7 +277,7 @@ let test_limits_abort () =
   let init = Symbolic.initial_states vm in
   let bad_states = Reach.bad_predicate vm ~fn ~bad in
   match (Reach.run ~max_steps:2 img ~vm ~init ~bad_states).Reach.outcome with
-  | Reach.Aborted "step limit" -> ()
+  | Reach.Aborted Rfn_failure.Steps -> ()
   | _ -> Alcotest.fail "expected step-limit abort"
 
 let test_stop_at_bad_false_closes () =

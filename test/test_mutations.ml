@@ -22,7 +22,8 @@ let expect_falsified name circuit (prop : Property.t) =
     Alcotest.(check bool) (name ^ ": trace replays") true
       (Sim3v.replay_concrete circuit t ~bad:prop.Property.bad)
   | Rfn.Proved, _ -> Alcotest.fail (name ^ ": mutant survived (proved)")
-  | Rfn.Aborted why, _ -> Alcotest.fail (name ^ ": aborted: " ^ why)
+  | Rfn.Aborted why, _ ->
+    Alcotest.fail (name ^ ": aborted: " ^ Rfn_failure.to_string why)
 
 (* A FIFO whose half-full flag is computed against the wrong threshold:
    psh_hf must become falsifiable. Rebuilt from scratch rather than

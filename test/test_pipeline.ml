@@ -27,7 +27,8 @@ let check_verify name circuit out expected () =
   | Rfn.Proved, `False -> Alcotest.fail (name ^ ": proved a false property")
   | Rfn.Falsified _, `True ->
     Alcotest.fail (name ^ ": falsified a true property")
-  | Rfn.Aborted why, _ -> Alcotest.fail (name ^ ": aborted: " ^ why));
+  | Rfn.Aborted why, _ ->
+    Alcotest.fail (name ^ ": aborted: " ^ Rfn_failure.to_string why));
   Alcotest.(check bool) (name ^ ": at least one iteration") true
     (List.length stats.Rfn.iterations >= 1)
 
@@ -62,7 +63,8 @@ let test_cegar_phase_spans () =
   (match outcome with
   | Rfn.Proved -> ()
   | Rfn.Falsified _ -> Alcotest.fail "fifo: psh_hf should be proved"
-  | Rfn.Aborted why -> Alcotest.fail ("fifo: aborted: " ^ why));
+  | Rfn.Aborted why ->
+    Alcotest.fail ("fifo: aborted: " ^ Rfn_failure.to_string why));
   let iterations = List.length stats.Rfn.iterations in
   Alcotest.(check bool) "fifo refines at least once" true (iterations > 1);
   List.iter
@@ -100,7 +102,8 @@ let test_agrees_with_brute_force () =
          | Rfn.Falsified t, _ ->
            expected
            && Sim3v.replay_concrete rc.Helpers.circuit t ~bad:rc.Helpers.out
-         | Rfn.Aborted why, _ -> QCheck.Test.fail_report ("aborted: " ^ why)))
+         | Rfn.Aborted why, _ ->
+           QCheck.Test.fail_report ("aborted: " ^ Rfn_failure.to_string why)))
 
 let tests =
   [
