@@ -189,6 +189,17 @@ let bench_json ~quick () =
   let c_retries = Telemetry.counter "supervisor.retries" in
   let c_fallbacks = Telemetry.counter "supervisor.fallbacks" in
   let c_escalations = Telemetry.counter "supervisor.escalations" in
+  let session_counter name = Telemetry.counter ("session." ^ name) in
+  let session_counters =
+    List.map
+      (fun name -> (name, session_counter name))
+      [
+        "cones_reused"; "cones_recompiled"; "clusters_reused";
+        "clusters_rebuilt"; "grow_in_place"; "grow_sifted"; "grow_rebuilds";
+        "resets";
+      ]
+  in
+  let g_carried = Telemetry.gauge "session.nodes_carried" in
   let was_enabled = Telemetry.enabled () in
   let rows =
     List.map
@@ -219,6 +230,16 @@ let bench_json ~quick () =
             ("retries", Json.Int (Telemetry.counter_value c_retries));
             ("fallbacks", Json.Int (Telemetry.counter_value c_fallbacks));
             ("escalations", Json.Int (Telemetry.counter_value c_escalations));
+            ( "session",
+              Json.Obj
+                (List.map
+                   (fun (name, c) ->
+                     (name, Json.Int (Telemetry.counter_value c)))
+                   session_counters
+                @ [
+                    ( "peak_nodes_carried",
+                      Json.Int (Telemetry.gauge_peak g_carried) );
+                  ]) );
           ])
       workloads
   in

@@ -20,7 +20,7 @@ type man = {
   mutable n : int;
   mutable free : int list;  (* slots reclaimed by gc, reused by mk *)
   mutable free_n : int;
-  protected : (int, unit) Hashtbl.t;  (* permanent gc roots *)
+  protected : (int, int) Hashtbl.t;  (* refcounted gc roots *)
   unique : (int * int * int, int) Hashtbl.t;
   cache : (int * int * int * int, int) Hashtbl.t;
 }
@@ -449,8 +449,17 @@ let rebuild ~src ~dst ~map f =
   rb f
 
 let protect m f =
-  if f > 1 then Hashtbl.replace m.protected f ();
+  if f > 1 then
+    Hashtbl.replace m.protected f
+      (1 + Option.value ~default:0 (Hashtbl.find_opt m.protected f));
   f
+
+let unprotect m f =
+  if f > 1 then
+    match Hashtbl.find_opt m.protected f with
+    | None -> ()
+    | Some n when n <= 1 -> Hashtbl.remove m.protected f
+    | Some n -> Hashtbl.replace m.protected f (n - 1)
 
 let gc m ~roots =
   let marked = Bytes.make m.n '\000' in
@@ -464,7 +473,7 @@ let gc m ~roots =
     end
   in
   List.iter mark roots;
-  Hashtbl.iter (fun f () -> mark f) m.protected;
+  Hashtbl.iter (fun f _ -> mark f) m.protected;
   (* Sweep: drop dead nodes from the unique table and recycle their
      slots. The operation caches may reference dead nodes, so they are
      cleared wholesale. *)

@@ -49,7 +49,16 @@ val clear_caches : man -> unit
    lifetime (transition clusters, cone tables). *)
 
 val protect : man -> t -> t
-(** Register a permanent GC root (idempotent); returns its argument. *)
+(** Register a GC root; returns its argument. Protection is
+    refcounted: protecting the same handle twice requires two
+    {!unprotect} calls to release it, so independent owners (a cone
+    cache, a transition cluster, a per-iteration target) can protect
+    aliased handles without clobbering each other. *)
+
+val unprotect : man -> t -> unit
+(** Drop one protection count of the handle (no-op when it is not
+    protected). The node itself stays valid until the next {!gc} that
+    cannot reach it. *)
 
 val gc : man -> roots:t list -> unit
 (** Free every node not reachable from [roots], the protected set, or

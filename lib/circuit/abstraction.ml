@@ -55,19 +55,48 @@ let with_regs circuit ~roots ~regs =
 
 let initial circuit ~roots = with_regs circuit ~roots ~regs:[]
 
-let refine t ~add =
+type delta = {
+  added : int list;
+  promoted : int list;
+  fresh_regs : int list;
+  new_free_inputs : int list;
+  new_signals : int;
+  carried_signals : int;
+}
+
+let refine_delta t ~add =
+  let added =
+    List.sort_uniq compare add
+    |> List.filter (fun r ->
+           if not (Circuit.is_reg t.circuit r) then
+             invalid_arg "Abstraction.refine: not a register";
+           not (Bitset.mem t.regs r))
+  in
   let regs = Bitset.copy t.regs in
-  List.iter
-    (fun r ->
-      if not (Circuit.is_reg t.circuit r) then
-        invalid_arg "Abstraction.refine: not a register";
-      Bitset.add regs r)
-    add;
-  {
-    t with
-    regs;
-    view = build t.circuit ~roots:t.roots ~regs;
-  }
+  List.iter (Bitset.add regs) added;
+  let t' = { t with regs; view = build t.circuit ~roots:t.roots ~regs } in
+  (* A newly chosen register either was a pseudo-input of the old view
+     (promoted: its output keeps its variable, only its next-state cone
+     is new) or lay entirely outside it (fresh). *)
+  let promoted, fresh_regs =
+    List.partition (fun r -> Sview.mem t.view r) added
+  in
+  let new_free_inputs =
+    Array.to_list t'.view.Sview.free_inputs
+    |> List.filter (fun s -> not (Sview.is_free t.view s))
+  in
+  let carried_signals = Bitset.cardinal t.view.Sview.inside in
+  ( t',
+    {
+      added;
+      promoted;
+      fresh_regs;
+      new_free_inputs;
+      new_signals = Bitset.cardinal t'.view.Sview.inside - carried_signals;
+      carried_signals;
+    } )
+
+let refine t ~add = fst (refine_delta t ~add)
 
 let num_regs t = Bitset.cardinal t.regs
 

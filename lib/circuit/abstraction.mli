@@ -33,6 +33,27 @@ val with_regs : Circuit.t -> roots:int list -> regs:int list -> t
 val refine : t -> add:int list -> t
 (** Add registers (and their transitive fanins) to the model. *)
 
+type delta = {
+  added : int list;  (** registers newly chosen (deduplicated, sorted) *)
+  promoted : int list;
+      (** added registers that were pseudo-inputs of the old view: their
+          output signal keeps its identity (and, downstream, its BDD
+          variable) — only their next-state cone is new *)
+  fresh_regs : int list;
+      (** added registers that lay entirely outside the old view *)
+  new_free_inputs : int list;
+      (** signals free in the new view but not in the old one (newly
+          exposed pseudo-inputs and primary inputs), sorted *)
+  new_signals : int;  (** signals entering the view *)
+  carried_signals : int;  (** signals of the old view (all carried) *)
+}
+
+val refine_delta : t -> add:int list -> t * delta
+(** {!refine} plus an exact report of what changed. Refinement is
+    monotone — the old view's signals are all carried over — so the
+    delta is what an incremental engine must (re)build: everything else
+    can be reused as-is. *)
+
 val num_regs : t -> int
 
 val pseudo_inputs : t -> int list

@@ -6,6 +6,7 @@ module Image = Rfn_mc.Image
 module Reach = Rfn_mc.Reach
 module Sim3v = Rfn_sim3v.Sim3v
 module Telemetry = Rfn_obs.Telemetry
+module F = Rfn_failure
 
 type status = Unknown | Unreachable | Reachable
 
@@ -18,6 +19,7 @@ type report = {
   iterations : int;
   seconds : float;
   status : status array;
+  failure : F.t option;
 }
 
 let state_code ~coverage value =
@@ -117,7 +119,7 @@ let mark_reachable circuit ~coverage ~status trace =
 
 let count status v = Array.fold_left (fun n s -> if s = v then n + 1 else n) 0 status
 
-let report_of ~status ~abstract_regs ~iterations ~seconds =
+let report_of ?failure ~status ~abstract_regs ~iterations ~seconds () =
   {
     total = Array.length status;
     unreachable = count status Unreachable;
@@ -126,7 +128,8 @@ let report_of ~status ~abstract_regs ~iterations ~seconds =
     abstract_regs;
     iterations;
     seconds;
-  status;
+    status;
+    failure;
   }
 
 let rfn_analysis ?(config = Rfn.default_config) circuit ~coverage =
@@ -147,10 +150,15 @@ let rfn_analysis ?(config = Rfn.default_config) circuit ~coverage =
     | Some budget ->
       Some (Float.max 0.0 (budget -. (Telemetry.now () -. started)))
   in
-  let rec iterate ?previous abstraction iter =
-    let done_ last_regs =
-      report_of ~status ~abstract_regs:last_regs ~iterations:iter
-        ~seconds:(Telemetry.now () -. started)
+  let session =
+    Session.create ~node_limit:config.Rfn.node_limit
+      ~policy:config.Rfn.session circuit ~roots:coverage
+  in
+  let rec iterate iter =
+    let abstraction = Session.abstraction session in
+    let done_ ?failure last_regs =
+      report_of ?failure ~status ~abstract_regs:last_regs ~iterations:iter
+        ~seconds:(Telemetry.now () -. started) ()
     in
     let regs_now = Abstraction.num_regs abstraction in
     if
@@ -160,11 +168,7 @@ let rfn_analysis ?(config = Rfn.default_config) circuit ~coverage =
     then done_ regs_now
     else
       match
-        let vm =
-          Varmap.make ~node_limit:config.Rfn.node_limit ?previous
-            abstraction.Abstraction.view
-        in
-        let img = Image.make vm in
+        let { Session.vm; img; _ } = Session.prepare session in
         let init = Symbolic.initial_states vm in
         let unknown_states =
           states_bdd vm ~coverage ~status ~keep:(fun s -> s = Unknown)
@@ -179,7 +183,12 @@ let rfn_analysis ?(config = Rfn.default_config) circuit ~coverage =
         in
         (vm, res, unknown_states)
       with
-      | exception Bdd.Limit_exceeded -> done_ regs_now
+      | exception Bdd.Limit_exceeded ->
+        done_
+          ~failure:
+            (F.make ~iteration:iter ~engine:F.Bdd_mc ~phase:F.Abstract_mc
+               F.Nodes)
+          regs_now
       | vm, res, unknown_states -> (
         let project reached =
           Bdd.exists (Varmap.man vm)
@@ -198,8 +207,18 @@ let rfn_analysis ?(config = Rfn.default_config) circuit ~coverage =
             Hybrid.extract ~atpg_limits:config.Rfn.abstract_atpg vm
               ~rings:res.Reach.rings ~target:unknown_states ~k
           with
-          | exception (Hybrid.Extraction_failed _ | Bdd.Limit_exceeded) ->
-            done_ regs_now
+          | exception Hybrid.Extraction_failed r ->
+            done_
+              ~failure:
+                (F.make ~iteration:iter ~engine:F.Hybrid
+                   ~phase:F.Trace_extraction r)
+              regs_now
+          | exception Bdd.Limit_exceeded ->
+            done_
+              ~failure:
+                (F.make ~iteration:iter ~engine:F.Hybrid
+                   ~phase:F.Trace_extraction F.Nodes)
+              regs_now
           | hybrid -> (
             let abstract_trace = hybrid.Hybrid.trace in
             let refine_and_continue () =
@@ -208,10 +227,10 @@ let rfn_analysis ?(config = Rfn.default_config) circuit ~coverage =
                   abstraction ~abstract_trace ()
               in
               if r.Refine.kept = [] then done_ regs_now
-              else
-                iterate ~previous:vm
-                  (Abstraction.refine abstraction ~add:r.Refine.kept)
-                  (iter + 1)
+              else begin
+                ignore (Session.refine session ~add:r.Refine.kept);
+                iterate (iter + 1)
+              end
             in
             match
               Concretize.guided_to_trace ~limits:config.Rfn.concrete_atpg
@@ -220,7 +239,7 @@ let rfn_analysis ?(config = Rfn.default_config) circuit ~coverage =
             | Concretize.Found t, _ ->
               let marked = mark_reachable circuit ~coverage ~status t in
               if marked = 0 then refine_and_continue ()
-              else iterate ~previous:vm abstraction (iter + 1)
+              else iterate (iter + 1)
             | (Concretize.Not_found_here | Concretize.Gave_up _), _ ->
               refine_and_continue ())
         in
@@ -250,7 +269,7 @@ let rfn_analysis ?(config = Rfn.default_config) circuit ~coverage =
             res.Reach.rings;
           match !hit with Some k -> chase k | None -> done_ regs_now))
   in
-  iterate (Abstraction.initial circuit ~roots:coverage) 1
+  iterate 1
 
 (* Registers at BFS distance <= d from the coverage signals through the
    register-dependency graph (r depends on the registers in the
@@ -318,31 +337,48 @@ let bfs_analysis ?(k = 60) ?(node_limit = 2_000_000) ?(max_steps = 2_000)
   let regs = closest_registers circuit ~coverage ~k in
   let abstraction = Abstraction.with_regs circuit ~roots:coverage ~regs in
   let abstract_regs = Abstraction.num_regs abstraction in
-  (match
-     let vm = Varmap.make ~node_limit abstraction.Abstraction.view in
-     let img = Image.make vm in
-     let init = Symbolic.initial_states vm in
-     let res =
-       Reach.run ~max_steps ?max_seconds img ~vm ~init
-         ~bad_states:(Bdd.zero (Varmap.man vm))
-     in
-     (vm, res)
-   with
-  | exception Bdd.Limit_exceeded -> ()
-  | vm, res -> (
-    match res.Reach.outcome with
-    | Reach.Proved ->
-      let proj =
-        Bdd.exists (Varmap.man vm)
-          (List.filter
-             (fun v ->
-               not (List.exists (fun s -> Varmap.cur_var vm s = v) coverage))
-             (Varmap.cur_vars vm))
-          res.Reach.reached
+  let bfs_failure resource =
+    F.make ~iteration:1 ~engine:F.Bdd_mc ~phase:F.Abstract_mc resource
+  in
+  let failure =
+    match
+      let vm = Varmap.make ~node_limit abstraction.Abstraction.view in
+      let img = Image.make vm in
+      let init = Symbolic.initial_states vm in
+      let res =
+        Reach.run ~max_steps ?max_seconds img ~vm ~init
+          ~bad_states:(Bdd.zero (Varmap.man vm))
       in
-      mark_unreachable vm ~coverage ~status proj
-    | Reach.Closed _ | Reach.Reached _ | Reach.Aborted _ -> ()));
-  report_of ~status ~abstract_regs
-    ~iterations:1 ~seconds:(Telemetry.now () -. started)
+      (vm, res)
+    with
+    | exception Bdd.Limit_exceeded ->
+      (* the fixpoint blew the node budget: no conclusion about any
+         coverage state — surfaced, not swallowed *)
+      Some (bfs_failure F.Nodes)
+    | vm, res -> (
+      match res.Reach.outcome with
+      | Reach.Proved ->
+        let proj =
+          Bdd.exists (Varmap.man vm)
+            (List.filter
+               (fun v ->
+                 not (List.exists (fun s -> Varmap.cur_var vm s = v) coverage))
+               (Varmap.cur_vars vm))
+            res.Reach.reached
+        in
+        mark_unreachable vm ~coverage ~status proj;
+        None
+      | Reach.Aborted r ->
+        (* partial reach (step or time budget): the projection argument
+           needs the complete reachable set, so nothing can be marked *)
+        Some (bfs_failure r)
+      | Reach.Closed _ | Reach.Reached _ ->
+        (* not produced with an empty target and stop_at_bad's default *)
+        Some
+          (bfs_failure
+             (F.Invariant "reachability touched an empty target set")))
+  in
+  report_of ?failure ~status ~abstract_regs ~iterations:1
+    ~seconds:(Telemetry.now () -. started) ()
 
 let closest_registers_for_test = closest_registers

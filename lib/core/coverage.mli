@@ -29,6 +29,13 @@ type report = {
   iterations : int;
   seconds : float;
   status : status array;  (** indexed by coverage-state code *)
+  failure : Rfn_failure.t option;
+      (** why the analysis stopped early, when an engine did: a BDD
+          node blow-up, an aborted fixpoint or a failed trace
+          extraction. [None] for a normal completion (including budget
+          exhaustion with states left unknown). The remaining [unknown]
+          counts are sound either way — a failure only means fewer
+          states were classified. *)
 }
 
 val state_code : coverage:int list -> (int -> bool) -> int

@@ -33,10 +33,10 @@ let split view cube_lits =
     cube_lits;
   (List.rev !regs, List.rev !inps, List.rev !internal)
 
-let rec extract_multi ?atpg_limits ?max_cube_tries ?use_mincut ~count vm
+let rec extract_multi ?atpg_limits ?max_cube_tries ?use_mincut ?fn ~count vm
     ~rings ~target ~k =
   let first =
-    extract ?atpg_limits ?max_cube_tries ?use_mincut vm ~rings ~target ~k
+    extract ?atpg_limits ?max_cube_tries ?use_mincut ?fn vm ~rings ~target ~k
   in
   if count <= 1 then [ first ]
   else begin
@@ -60,15 +60,25 @@ let rec extract_multi ?atpg_limits ?max_cube_tries ?use_mincut ~count vm
     if Bdd.is_zero (Bdd.dand man rings.(k) remaining) then [ first ]
     else
       first
-      :: extract_multi ?atpg_limits ?max_cube_tries ?use_mincut
+      :: extract_multi ?atpg_limits ?max_cube_tries ?use_mincut ?fn
            ~count:(count - 1) vm ~rings ~target:remaining ~k
   end
 
 and extract ?(atpg_limits = Atpg.default_limits) ?(max_cube_tries = 64)
-    ?(use_mincut = true) vm ~rings ~target ~k =
+    ?(use_mincut = true) ?fn vm ~rings ~target ~k =
   let man = Varmap.man vm in
   let view = Varmap.view vm in
   let target = Bdd.protect man target in
+  (* The manager may outlive this extraction (it belongs to the
+     verification session), so every protection taken here is released
+     on the way out — protections are refcounted, so releasing a handle
+     that aliases a session cone leaves the session's own pin alone. *)
+  let local_memo : (int, Bdd.t) Hashtbl.t = Hashtbl.create 997 in
+  let release () =
+    Bdd.unprotect man target;
+    Hashtbl.iter (fun _ f -> Bdd.unprotect man f) local_memo
+  in
+  Fun.protect ~finally:release @@ fun () ->
   (* Min-cut design of the abstract model; its cut signals get input
      variables so pre-image cubes can mention them. With
      [use_mincut:false] (the supervisor's fallback when the min-cut
@@ -79,9 +89,16 @@ and extract ?(atpg_limits = Atpg.default_limits) ?(max_cube_tries = 64)
     if use_mincut then begin
       let mc = Mincut.compute view in
       Varmap.add_input_vars vm mc.Mincut.cut;
-      (List.length mc.Mincut.cut, Symbolic.functions_for vm mc.Mincut.mc)
+      ignore (Symbolic.compile_view vm mc.Mincut.mc ~memo:local_memo);
+      (List.length mc.Mincut.cut, fun s -> Hashtbl.find local_memo s)
     end
-    else (Sview.num_free_inputs view, Symbolic.functions vm)
+    else
+      ( Sview.num_free_inputs view,
+        match fn with
+        | Some fn -> fn (* the session's cone cache, compiled already *)
+        | None ->
+          ignore (Symbolic.compile_view vm view ~memo:local_memo);
+          fun s -> Hashtbl.find local_memo s )
   in
   let no_cut_steps = ref 0 and min_cut_steps = ref 0 in
   (* Final cycle: fattest cube of ring k ∧ bad-function, giving the

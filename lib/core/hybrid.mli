@@ -35,6 +35,7 @@ val extract :
   ?atpg_limits:Rfn_atpg.Atpg.limits ->
   ?max_cube_tries:int ->
   ?use_mincut:bool ->
+  ?fn:(int -> Rfn_bdd.Bdd.t) ->
   Rfn_mc.Varmap.t ->
   rings:Rfn_bdd.Bdd.t array ->
   target:Rfn_bdd.Bdd.t ->
@@ -53,12 +54,18 @@ val extract :
     directly on the abstract model, every cube is a no-cut cube and the
     combinational-ATPG extension is never needed. Slower on models with
     many free inputs, but immune to min-cut-path failures; the engine
-    supervisor uses it as the fallback. *)
+    supervisor uses it as the fallback.
+
+    [fn] is the verification session's cone cache, used directly on
+    the pure pre-image path instead of recompiling the view's cones
+    (the min-cut path always compiles its own, into a memo released on
+    exit — the manager may outlive the extraction). *)
 
 val extract_multi :
   ?atpg_limits:Rfn_atpg.Atpg.limits ->
   ?max_cube_tries:int ->
   ?use_mincut:bool ->
+  ?fn:(int -> Rfn_bdd.Bdd.t) ->
   count:int ->
   Rfn_mc.Varmap.t ->
   rings:Rfn_bdd.Bdd.t array ->

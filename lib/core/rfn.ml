@@ -22,6 +22,7 @@ type config = {
   guidance_traces : int;
   supervisor : Supervisor.policy;
   inject : (Supervisor.site -> Supervisor.fault option) option;
+  session : Session.policy;
 }
 
 let default_config =
@@ -35,6 +36,7 @@ let default_config =
     guidance_traces = 1;
     supervisor = Supervisor.default_policy;
     inject = None;
+    session = Session.default_policy;
   }
 
 type iteration = {
@@ -68,6 +70,10 @@ let verify ?(config = default_config) circuit prop =
   in
   let bad = prop.Property.bad in
   let coi = Coi.compute circuit ~roots:(Property.roots prop) in
+  let session =
+    Session.create ~node_limit:config.node_limit ~policy:config.session
+      circuit ~roots:(Property.roots prop)
+  in
   let iterations = ref [] in
   let last_trace = ref None in
   let finish abstraction outcome =
@@ -85,7 +91,8 @@ let verify ?(config = default_config) circuit prop =
   let loop_failure iter resource =
     F.make ~iteration:iter ~engine:F.Cegar ~phase:F.Loop resource
   in
-  let rec iterate ?previous abstraction iter =
+  let rec iterate iter =
+    let abstraction = Session.abstraction session in
     if iter > config.max_iterations then
       finish abstraction (Aborted (loop_failure iter F.Iterations))
     else if Supervisor.out_of_time sup then
@@ -118,14 +125,14 @@ let verify ?(config = default_config) circuit prop =
         ]
       in
       (* Step 2: prove or find an abstract error trace. Ladder: the
-         plain fixpoint, then (on a BDD node blow-up) a rebuild with a
-         fresh FORCE variable order, then one more with a grown node
-         budget. *)
-      let mc_attempt ~node_limit ~seed () =
+         session's carried state as-is, then (on a BDD node blow-up) a
+         session reset — a rebuild with a fresh FORCE variable order —
+         then one more with a grown node budget. [Session.prepare] runs
+         inside the rung, so its blow-ups map to [Error Nodes] like the
+         fixpoint's own. *)
+      let mc_attempt ~prep () =
         match
-          let vm = Varmap.make ~node_limit ?previous:seed view in
-          let fn = Symbolic.functions vm in
-          let img = Image.make vm in
+          let { Session.vm; fn; img } = prep () in
           let init = Symbolic.initial_states vm in
           let bad_states = Reach.bad_predicate vm ~fn ~bad in
           let res =
@@ -147,17 +154,21 @@ let verify ?(config = default_config) circuit prop =
               [
                 ( Supervisor.Primary,
                   "fixpoint",
-                  mc_attempt ~node_limit:config.node_limit ~seed:previous );
+                  mc_attempt ~prep:(fun () -> Session.prepare session) );
                 ( Supervisor.Retry,
                   "fixpoint+fresh-order",
-                  mc_attempt ~node_limit:config.node_limit ~seed:None );
+                  mc_attempt ~prep:(fun () ->
+                      Session.reset session ~fresh_order:true
+                        ~node_limit:config.node_limit;
+                      Session.prepare session) );
                 ( Supervisor.Retry,
                   "fixpoint+node-budget",
-                  mc_attempt
-                    ~node_limit:
-                      (config.node_limit
-                      * (Supervisor.policy sup).Supervisor.node_limit_growth)
-                    ~seed:None );
+                  mc_attempt ~prep:(fun () ->
+                      Session.reset session ~fresh_order:true
+                        ~node_limit:
+                          (config.node_limit
+                          * (Supervisor.policy sup).Supervisor.node_limit_growth);
+                      Session.prepare session) );
               ])
       in
       match mc with
@@ -198,7 +209,7 @@ let verify ?(config = default_config) circuit prop =
                 ~atpg_limits:
                   (Supervisor.clamp_limits sup Supervisor.Hybrid_extract
                      config.abstract_atpg)
-                ~use_mincut
+                ~use_mincut ~fn
                 ~count:(max 1 config.guidance_traces)
                 vm ~rings:res.Reach.rings ~target:(fn bad) ~k
             with
@@ -341,9 +352,13 @@ let verify ?(config = default_config) circuit prop =
                 Log.info (fun m ->
                     m "refining with %d register(s) (%d candidates)"
                       (List.length regs) candidates);
-                iterate ~previous:vm
-                  (Abstraction.refine abstraction ~add:regs)
-                  (iter + 1)
+                let delta = Session.refine session ~add:regs in
+                Log.debug (fun m ->
+                    m "delta: %d promoted, %d fresh, %d new signals"
+                      (List.length delta.Abstraction.promoted)
+                      (List.length delta.Abstraction.fresh_regs)
+                      delta.Abstraction.new_signals);
+                iterate (iter + 1)
               | Ok (`Cex t) ->
                 record_hybrid ();
                 Log.info (fun m ->
@@ -362,7 +377,7 @@ let verify ?(config = default_config) circuit prop =
                     (F.Invariant "hybrid engine returned no abstract traces")))))
     end
   in
-  iterate (Abstraction.initial circuit ~roots:(Property.roots prop)) 1
+  iterate 1
 
 let check_coi_model_checking ?(node_limit = 2_000_000) ?(max_steps = 10_000)
     ?max_seconds circuit prop =

@@ -48,6 +48,9 @@ type config = {
   inject : (Supervisor.site -> Supervisor.fault option) option;
       (** fault-injection hook for chaos testing; [None] (the default)
           defers to the [RFN_INJECT_FAULTS] environment variable *)
+  session : Session.policy;
+      (** persistent-session knobs: incremental reuse on/off and the
+          grow-vs-rebuild thresholds ({!Session.default_policy}) *)
 }
 
 val default_config : config

@@ -115,6 +115,9 @@ module Table2 = struct
     rfn_seconds : float;
     bfs_unreachable : int;
     bfs_seconds : float;
+    rfn_failure : string option;
+        (** engine failure that ended the RFN analysis early, if any *)
+    bfs_failure : string option;  (** same for the BFS baseline *)
   }
 
   let run ?(small = false) ?(budget = 20.0) ?(bfs_k = 60) () =
@@ -141,6 +144,8 @@ module Table2 = struct
           rfn_seconds = rfn.Coverage.seconds;
           bfs_unreachable = bfs.Coverage.unreachable;
           bfs_seconds = bfs.Coverage.seconds;
+          rfn_failure = Option.map Rfn_failure.to_string rfn.Coverage.failure;
+          bfs_failure = Option.map Rfn_failure.to_string bfs.Coverage.failure;
         })
       (table2_problems ~small)
 
@@ -154,7 +159,15 @@ module Table2 = struct
       (fun r ->
         Format.fprintf ppf "%-6s %8d %9d %11d %8d %8.1f %11d %8.1f@." r.set
           r.coi_regs r.coi_gates r.rfn_unreachable r.rfn_abstract_regs
-          r.rfn_seconds r.bfs_unreachable r.bfs_seconds)
+          r.rfn_seconds r.bfs_unreachable r.bfs_seconds;
+        (* Engine failures are findings, not formatting: an analysis
+           that stopped early must say so next to its numbers. *)
+        Option.iter
+          (fun f -> Format.fprintf ppf "       ^ rfn stopped early: %s@." f)
+          r.rfn_failure;
+        Option.iter
+          (fun f -> Format.fprintf ppf "       ^ bfs stopped early: %s@." f)
+          r.bfs_failure)
       rows
 end
 

@@ -34,6 +34,10 @@ module Table2 : sig
     rfn_seconds : float;
     bfs_unreachable : int;
     bfs_seconds : float;
+    rfn_failure : string option;
+        (** engine failure that ended the RFN analysis early, if any
+            (rendered with {!Rfn_failure.to_string}) *)
+    bfs_failure : string option;  (** same for the BFS baseline *)
   }
 
   val run : ?small:bool -> ?budget:float -> ?bfs_k:int -> unit -> row list

@@ -12,13 +12,27 @@ type t = {
          schedule.(i+1): quantified together with cluster i *)
 }
 
-let make ?(cluster_size = 5000) vm =
+type cache = {
+  mutable entries : (int * int * Bdd.t) array;
+  mutable clusters : Bdd.t array;
+}
+
+type build_stats = { clusters_reused : int; clusters_rebuilt : int }
+
+let cache () = { entries = [||]; clusters = [||] }
+
+let clear_cache c =
+  c.entries <- [||];
+  c.clusters <- [||]
+
+let build ?(cluster_size = 5000) ~fn ~cache vm =
   let view = Varmap.view vm in
   let man = Varmap.man vm in
-  let fn = Symbolic.functions vm in
-  (* One bit-relation per register, ordered by next-state variable so
-     that FORCE-adjacent state bits cluster together. *)
-  let bits =
+  (* One bit-relation source per register, ordered by next-state
+     variable so that FORCE-adjacent state bits cluster together.
+     Appended variables sort after every carried one, so after an
+     in-place grow the carried registers form a verbatim prefix. *)
+  let entries =
     Array.to_list view.Sview.regs
     |> List.map (fun r ->
            let next =
@@ -26,15 +40,42 @@ let make ?(cluster_size = 5000) vm =
              | Circuit.Reg { next; _ } -> next
              | _ -> assert false
            in
-           let rel =
-             Bdd.dxor man (Bdd.var man (Varmap.nxt_var vm r)) (fn next)
-             |> Bdd.dnot man
-           in
-           (Varmap.nxt_var vm r, rel))
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
-    |> List.map snd
+           (r, Varmap.nxt_var vm r, fn next))
+    |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+    |> Array.of_list
   in
-  let clusters =
+  (* The cached clusters are reusable iff the old bit list is an exact
+     prefix of the new one — same register, same next-state variable,
+     same cone (handle equality is sound under hash-consing within one
+     manager). Growth only appends, so this holds across refinements;
+     any other change (reset, sifting hand-off the caller did not
+     translate) invalidates the whole cache. *)
+  let old = cache.entries in
+  let prefix_ok =
+    Array.length old <= Array.length entries
+    &&
+    let ok = ref true in
+    Array.iteri
+      (fun i (r, v, f) ->
+        let r', v', f' = entries.(i) in
+        if r <> r' || v <> v' || f <> f' then ok := false)
+      old;
+    !ok
+  in
+  let reused_clusters, start =
+    if prefix_ok then (Array.to_list cache.clusters, Array.length old)
+    else begin
+      Array.iter (fun c -> Bdd.unprotect man c) cache.clusters;
+      ([], 0)
+    end
+  in
+  let bits =
+    Array.sub entries start (Array.length entries - start)
+    |> Array.to_list
+    |> List.map (fun (_, v, f) ->
+           Bdd.dnot man (Bdd.dxor man (Bdd.var man v) f))
+  in
+  let new_clusters =
     let rec go acc current = function
       | [] -> List.rev (match current with None -> acc | Some c -> c :: acc)
       | rel :: rest -> (
@@ -45,9 +86,14 @@ let make ?(cluster_size = 5000) vm =
           if Bdd.size man c' <= cluster_size then go acc (Some c') rest
           else go (c :: acc) (Some rel) rest)
     in
-    Array.of_list (List.map (Bdd.protect man) (go [] None bits))
+    List.map (Bdd.protect man) (go [] None bits)
   in
-  (* Last cluster mentioning each quantifiable variable. *)
+  let clusters = Array.of_list (reused_clusters @ new_clusters) in
+  cache.entries <- entries;
+  cache.clusters <- clusters;
+  (* Last cluster mentioning each quantifiable variable. The schedule
+     is recomputed from scratch on every build: it is cheap (support
+     scans) and must cover variables appended since the last one. *)
   let quantifiable v =
     match Varmap.role vm v with
     | Varmap.Cur _ | Varmap.Inp _ -> true
@@ -69,9 +115,16 @@ let make ?(cluster_size = 5000) vm =
       in
       schedule.(slot) <- v :: schedule.(slot))
     (Varmap.cur_vars vm @ Varmap.inp_vars vm);
-  { vm; clusters; schedule }
+  ( { vm; clusters; schedule },
+    {
+      clusters_reused = List.length reused_clusters;
+      clusters_rebuilt = List.length new_clusters;
+    } )
 
-let num_clusters t = Array.length t.clusters
+let make ?cluster_size vm =
+  fst (build ?cluster_size ~fn:(Symbolic.functions vm) ~cache:(cache ()) vm)
+
+let num_clusters (t : t) = Array.length t.clusters
 
 let post t q =
   Telemetry.incr c_post;

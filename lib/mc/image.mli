@@ -10,10 +10,45 @@
 
 type t
 
+type cache = {
+  mutable entries : (int * int * Rfn_bdd.Bdd.t) array;
+      (** per-register sources of the cached clusters, sorted by
+          next-state variable: (register, next-state variable, cone) *)
+  mutable clusters : Rfn_bdd.Bdd.t array;  (** protected in the manager *)
+}
+(** Compiled-relation cache carried across refinement iterations by a
+    verification session. Fields are exposed so the session layer can
+    translate handles after a reordering hand-off. *)
+
+type build_stats = { clusters_reused : int; clusters_rebuilt : int }
+
+val cache : unit -> cache
+(** A fresh, empty cache. *)
+
+val clear_cache : cache -> unit
+(** Forget the cached relation {e without} unprotecting anything — for
+    manager switches (reset, replica), where the old handles are
+    meaningless in the new manager. *)
+
+val build :
+  ?cluster_size:int ->
+  fn:(int -> Rfn_bdd.Bdd.t) ->
+  cache:cache ->
+  Varmap.t ->
+  t * build_stats
+(** Build the clustered relation for the varmap's view over the cone
+    function [fn], reusing the cache's clusters when its per-register
+    bit list is an exact prefix of the new one — which it is after
+    {!Varmap.grow}, since appended next-state variables sort after
+    every carried one and carried cones keep their handles. On any
+    mismatch the whole cache is rebuilt (old clusters unprotected).
+    The quantification schedule is recomputed either way. Updates the
+    cache in place. May raise [Rfn_bdd.Bdd.Limit_exceeded]. *)
+
 val make : ?cluster_size:int -> Varmap.t -> t
-(** Build the clustered relation for the varmap's view (default
-    cluster size bound: 5000 nodes). May raise
-    [Rfn_bdd.Bdd.Limit_exceeded]. *)
+(** Build the clustered relation for the varmap's view from scratch
+    with a throwaway cache (default cluster size bound: 5000 nodes).
+    May raise [Rfn_bdd.Bdd.Limit_exceeded]. *)
 
 val num_clusters : t -> int
 

@@ -27,42 +27,40 @@ let gate_bdd man kind args =
   | Gate.Xnor -> Bdd.dnot man (reduce man Bdd.dxor (Bdd.zero man) args)
   | Gate.Mux -> Bdd.ite man args.(0) args.(2) args.(1)
 
-let functions_for vm view =
+let compile_view vm view ~memo =
   let man = Varmap.man vm in
   let c = view.Sview.circuit in
+  let compiled = ref 0 in
+  Array.iter
+    (fun s ->
+      if Sview.mem view s && not (Hashtbl.mem memo s) then begin
+        let f =
+          if Sview.is_free view s then Bdd.var man (Varmap.inp_var vm s)
+          else
+            match Circuit.node c s with
+            | Circuit.Const b -> if b then Bdd.one man else Bdd.zero man
+            | Circuit.Reg _ -> Bdd.var man (Varmap.cur_var vm s)
+            | Circuit.Gate (kind, fanins) ->
+              gate_bdd man kind
+                (Array.map (fun x -> Hashtbl.find memo x) fanins)
+            | Circuit.Input -> assert false
+        in
+        incr compiled;
+        Hashtbl.replace memo s (Bdd.protect man f)
+      end)
+    c.Circuit.topo;
+  !compiled
+
+let functions_for vm view =
   let memo : (int, Bdd.t) Hashtbl.t = Hashtbl.create 997 in
   let built = ref false in
-  let base s =
-    if Sview.is_free view s then Bdd.var man (Varmap.inp_var vm s)
-    else
-      match Circuit.node c s with
-      | Circuit.Const b -> if b then Bdd.one man else Bdd.zero man
-      | Circuit.Reg _ -> Bdd.var man (Varmap.cur_var vm s)
-      | Circuit.Input -> assert false
-      | Circuit.Gate _ -> assert false
-  in
-  let build_all () =
-    Array.iter
-      (fun s ->
-        if Sview.mem view s then
-          let f =
-            if Sview.is_free view s then base s
-            else
-              match Circuit.node c s with
-              | Circuit.Gate (kind, fanins) ->
-                gate_bdd man kind
-                  (Array.map (fun x -> Hashtbl.find memo x) fanins)
-              | Circuit.Const _ | Circuit.Reg _ -> base s
-              | Circuit.Input -> assert false
-          in
-          Hashtbl.replace memo s (Bdd.protect man f))
-      c.Circuit.topo;
-    built := true
-  in
   fun s ->
     if not (Sview.mem view s) then
       invalid_arg "Symbolic.functions: signal outside the view";
-    if not !built then build_all ();
+    if not !built then begin
+      ignore (compile_view vm view ~memo);
+      built := true
+    end;
     Hashtbl.find memo s
 
 let functions vm = functions_for vm (Varmap.view vm)

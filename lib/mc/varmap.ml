@@ -112,6 +112,88 @@ let make ?(node_limit = max_int) ?previous view =
     signals;
   { man; view; cur; nxt; inp; roles; initial_inp = List.rev !initial_inp }
 
+(* In-place growth for a refinement delta: carried signals keep their
+   variables (a promoted pseudo-input's [Inp] variable is re-rolled as
+   its [Cur] variable — the reason downstream cone BDDs survive
+   growth), new variables are appended at the bottom of the order. *)
+let grow t ~view (d : Abstraction.delta) =
+  let initial_inp = ref t.initial_inp in
+  let drop_inp s =
+    match Hashtbl.find_opt t.inp s with
+    | None -> None
+    | Some v ->
+      Hashtbl.remove t.inp s;
+      initial_inp := List.filter (fun x -> x <> v) !initial_inp;
+      Some v
+  in
+  let add_fresh_reg r =
+    (* a stale [Inp] binding (a min-cut cut variable from an earlier
+       hybrid extraction) must not shadow the register's state role *)
+    (match drop_inp r with
+    | Some v -> Hashtbl.remove t.roles v
+    | None -> ());
+    let v = Bdd.add_vars t.man 2 in
+    Hashtbl.replace t.cur r v;
+    Hashtbl.replace t.roles v (Cur r);
+    Hashtbl.replace t.nxt r (v + 1);
+    Hashtbl.replace t.roles (v + 1) (Nxt r)
+  in
+  List.iter
+    (fun p ->
+      match drop_inp p with
+      | Some v ->
+        Hashtbl.replace t.cur p v;
+        Hashtbl.replace t.roles v (Cur p);
+        let nv = Bdd.add_vars t.man 1 in
+        Hashtbl.replace t.nxt p nv;
+        Hashtbl.replace t.roles nv (Nxt p)
+      | None -> add_fresh_reg p)
+    d.Abstraction.promoted;
+  List.iter add_fresh_reg d.Abstraction.fresh_regs;
+  List.iter
+    (fun s ->
+      (match Hashtbl.find_opt t.inp s with
+      | Some _ -> ()
+      | None ->
+        let v = Bdd.add_vars t.man 1 in
+        Hashtbl.replace t.inp s v;
+        Hashtbl.replace t.roles v (Inp s));
+      initial_inp := !initial_inp @ [ Hashtbl.find t.inp s ])
+    d.Abstraction.new_free_inputs;
+  { t with view; initial_inp = !initial_inp }
+
+let replica ?node_limit t =
+  let node_limit =
+    match node_limit with Some l -> l | None -> Bdd.node_limit t.man
+  in
+  let man = Bdd.create ~node_limit ~nvars:(Bdd.nvars t.man) () in
+  {
+    t with
+    man;
+    cur = Hashtbl.copy t.cur;
+    nxt = Hashtbl.copy t.nxt;
+    inp = Hashtbl.copy t.inp;
+    roles = Hashtbl.copy t.roles;
+  }
+
+let remap t ~man ~map =
+  let tr tbl =
+    let tbl' = Hashtbl.create (Hashtbl.length tbl) in
+    Hashtbl.iter (fun s v -> Hashtbl.replace tbl' s (map v)) tbl;
+    tbl'
+  in
+  let roles = Hashtbl.create (Hashtbl.length t.roles) in
+  Hashtbl.iter (fun v r -> Hashtbl.replace roles (map v) r) t.roles;
+  {
+    t with
+    man;
+    cur = tr t.cur;
+    nxt = tr t.nxt;
+    inp = tr t.inp;
+    roles;
+    initial_inp = List.map map t.initial_inp;
+  }
+
 let man t = t.man
 let view t = t.view
 let cur_var t s = Hashtbl.find t.cur s

@@ -27,6 +27,35 @@ val signal_rank : t -> int -> int option
 (** Level of the variable carrying a signal (its [Cur] or [Inp]
     variable), if allocated — the hand-off {!make}'s [previous] uses. *)
 
+val grow : t -> view:Rfn_circuit.Sview.t -> Rfn_circuit.Abstraction.delta -> t
+(** In-place growth for a refinement delta, the persistent-session
+    alternative to a fresh {!make}: every carried signal keeps its
+    variable — in particular a promoted pseudo-input's [Inp] variable
+    becomes its [Cur] variable, so cone BDDs built over the old view
+    stay valid verbatim — and new variables (next-state variables of
+    promoted registers, both variables of fresh registers, variables of
+    newly exposed free inputs) are appended at the bottom of the order
+    with {!Rfn_bdd.Bdd.add_vars}. Mutates the shared tables: the
+    argument must not be used afterwards; use the returned map (which
+    carries the new [view]). Appended variables degrade the interleaved
+    order quality — the session layer measures the node count and falls
+    back to sifting or a fresh FORCE rebuild when growth blows up. *)
+
+val replica : ?node_limit:int -> t -> t
+(** A copy of the varmap over a {e fresh, empty} manager with the same
+    variable count and the identical signal↦variable assignment
+    (including stale min-cut input variables, so subsequent {!grow}
+    calls allocate the same indices as they would on the original).
+    [node_limit] defaults to the original manager's. The from-scratch
+    reference mode of the session layer: same order, no reuse. *)
+
+val remap : t -> man:Rfn_bdd.Bdd.man -> map:(int -> int) -> t
+(** Re-express the varmap over another manager whose variables are a
+    permutation of this one's ([map old_var = new_level], total on the
+    variable range) — the hand-off from [Rfn_bdd.Reorder.sift]/
+    [improve], which rebuild live BDDs into a fresh manager under a
+    better order. *)
+
 val man : t -> Rfn_bdd.Bdd.man
 val view : t -> Rfn_circuit.Sview.t
 
