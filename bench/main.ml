@@ -186,6 +186,27 @@ let bench_json ~quick () =
   in
   let g_nodes = Telemetry.gauge "bdd.live_nodes" in
   let c_backtracks = Telemetry.counter "atpg.backtracks" in
+  let sat_counters =
+    List.map
+      (fun name -> (name, Telemetry.counter ("sat." ^ name)))
+      [ "conflicts"; "propagations"; "learned"; "restarts"; "frames_reused" ]
+  in
+  (* A shallow SAT-vs-ATPG BMC cross-check per design: keeps the sat.*
+     counters live in every row and records whether the two engine
+     families agree at the shared depth. *)
+  let sat_cross_check circuit (prop : Property.t) =
+    let limits = { Atpg.max_backtracks = 50_000; max_seconds = Some 5.0 } in
+    let bad = prop.Property.bad in
+    let depth = 5 in
+    let a, _ = Rfn_core.Bmc.falsify ~limits circuit ~bad ~max_depth:depth in
+    let s, _ = Rfn_core.Sat_bmc.falsify ~limits circuit ~bad ~max_depth:depth in
+    match (a, s) with
+    | Rfn_core.Bmc.Found ta, Rfn_core.Bmc.Found ts ->
+      Trace.length ta = Trace.length ts
+    | Rfn_core.Bmc.Exhausted, Rfn_core.Bmc.Exhausted -> true
+    | Rfn_core.Bmc.Gave_up _, _ | _, Rfn_core.Bmc.Gave_up _ -> true
+    | _ -> false
+  in
   let c_retries = Telemetry.counter "supervisor.retries" in
   let c_fallbacks = Telemetry.counter "supervisor.fallbacks" in
   let c_escalations = Telemetry.counter "supervisor.escalations" in
@@ -207,6 +228,7 @@ let bench_json ~quick () =
         Telemetry.reset ();
         Telemetry.enable ();
         let outcome, stats = Rfn.verify circuit prop in
+        let sat_agrees = sat_cross_check circuit prop in
         let result =
           match outcome with
           | Rfn.Proved -> "T"
@@ -227,6 +249,12 @@ let bench_json ~quick () =
             ("peak_bdd_nodes", Json.Int (Telemetry.gauge_peak g_nodes));
             ( "atpg_backtracks",
               Json.Int (Telemetry.counter_value c_backtracks) );
+            ( "sat",
+              Json.Obj
+                (("bmc_cross_check", Json.Bool sat_agrees)
+                :: List.map
+                     (fun (n, c) -> (n, Json.Int (Telemetry.counter_value c)))
+                     sat_counters) );
             ("retries", Json.Int (Telemetry.counter_value c_retries));
             ("fallbacks", Json.Int (Telemetry.counter_value c_fallbacks));
             ("escalations", Json.Int (Telemetry.counter_value c_escalations));

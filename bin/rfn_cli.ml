@@ -16,14 +16,35 @@ let load path =
   | Failure msg -> Error msg
   | Sys_error msg -> Error msg
 
-let config_of ~max_seconds ~node_limit ~max_iterations ~inject =
+let config_of ~max_seconds ~node_limit ~max_iterations ~engines ~inject =
   {
     Rfn.default_config with
     Rfn.max_seconds;
     node_limit;
     max_iterations;
+    engines;
     inject;
   }
+
+(* Engine selection for the falsification phases; the default defers to
+   the RFN_ENGINE environment variable (and then to ATPG). *)
+let engines_arg =
+  Cmdliner.Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("atpg", Rfn.Atpg_only);
+             ("sat", Rfn.Sat_only);
+             ("portfolio", Rfn.Portfolio);
+           ])
+        (Rfn.engines_of_env ())
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Concretization/re-check engine(s): $(b,atpg) (the paper's guided \
+           sequential ATPG), $(b,sat) (incremental SAT bounded model \
+           checking) or $(b,portfolio) (ATPG first, SAT as a supervisor \
+           fallback rung).")
 
 (* Shared telemetry flags: --metrics-out streams JSONL events,
    --profile prints a wall-time/counter report when the run ends. *)
@@ -95,8 +116,8 @@ let verify_cmd =
       & info [ "inject-faults" ] ~docv:"SITES" ~docs:Cmdliner.Manpage.s_none)
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
-  let run netlist prop seconds nodes iters trace_out baseline inject_faults
-      metrics_out profile verbose =
+  let run netlist prop seconds nodes iters engines trace_out baseline
+      inject_faults metrics_out profile verbose =
     setup_logs verbose;
     match load netlist with
     | Error msg ->
@@ -133,7 +154,7 @@ let verify_cmd =
         | Ok () -> (
         let config =
           config_of ~max_seconds:seconds ~node_limit:nodes
-            ~max_iterations:iters ~inject
+            ~max_iterations:iters ~engines ~inject
         in
         let outcome, stats = Rfn.verify ~config circuit property in
         Format.printf
@@ -181,8 +202,9 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Verify that an output signal can never be driven to 1.")
     Term.(
-      const run $ netlist $ prop $ seconds $ nodes $ iters $ trace_out
-      $ baseline $ inject_faults $ metrics_out_arg $ profile_arg $ verbose)
+      const run $ netlist $ prop $ seconds $ nodes $ iters $ engines_arg
+      $ trace_out $ baseline $ inject_faults $ metrics_out_arg $ profile_arg
+      $ verbose)
 
 (* ---- rfn coverage --------------------------------------------------- *)
 
@@ -260,7 +282,17 @@ let bmc_cmd =
   let backtracks =
     Arg.(value & opt int 200_000 & info [ "max-backtracks" ] ~docv:"N")
   in
-  let run netlist prop depth backtracks =
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("atpg", `Atpg); ("sat", `Sat) ]) `Atpg
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Search engine: $(b,atpg) (sequential ATPG per depth) or \
+             $(b,sat) (one incremental CNF instance across depths; \
+             --max-backtracks bounds conflicts).")
+  in
+  let run netlist prop depth backtracks engine =
     match load netlist with
     | Error msg ->
       Format.eprintf "error: %s@." msg;
@@ -274,28 +306,49 @@ let bmc_cmd =
         let limits =
           { Rfn_atpg.Atpg.max_backtracks = backtracks; max_seconds = None }
         in
-        match Rfn_core.Bmc.falsify ~limits circuit ~bad ~max_depth:depth with
-        | Rfn_core.Bmc.Found trace, stats ->
-          Format.printf
-            "violated at depth %d (%d decisions, %d backtracks)@.%a@."
+        let outcome, describe =
+          match engine with
+          | `Atpg ->
+            let outcome, stats =
+              Rfn_core.Bmc.falsify ~limits circuit ~bad ~max_depth:depth
+            in
+            ( outcome,
+              fun () ->
+                Printf.sprintf "%d decisions, %d backtracks"
+                  stats.Rfn_atpg.Atpg.decisions
+                  stats.Rfn_atpg.Atpg.backtracks )
+          | `Sat ->
+            let outcome, stats =
+              Rfn_core.Sat_bmc.falsify ~limits circuit ~bad ~max_depth:depth
+            in
+            ( outcome,
+              fun () ->
+                Printf.sprintf "%d decisions, %d conflicts, %d propagations"
+                  stats.Rfn_sat.Solver.decisions stats.Rfn_sat.Solver.conflicts
+                  stats.Rfn_sat.Solver.propagations )
+        in
+        match outcome with
+        | Rfn_core.Bmc.Found trace ->
+          Format.printf "violated at depth %d (%s)@.%a@."
             (Trace.length trace - 1)
-            stats.Rfn_atpg.Atpg.decisions stats.Rfn_atpg.Atpg.backtracks
+            (describe ())
             (Trace.pp ~names:(Circuit.name circuit))
             trace;
           2
-        | Rfn_core.Bmc.Exhausted, _ ->
+        | Rfn_core.Bmc.Exhausted ->
           Format.printf "no violation within %d cycles@." depth;
           0
-        | Rfn_core.Bmc.Gave_up d, _ ->
+        | Rfn_core.Bmc.Gave_up d ->
           Format.printf "gave up at depth %d (resource limit)@." d;
           3))
   in
   Cmd.v
     (Cmd.info "bmc"
        ~doc:
-         "Bounded falsification by plain sequential ATPG (no abstraction, \
-          no guidance) — the baseline RFN's guided search improves on.")
-    Term.(const run $ netlist $ prop $ depth $ backtracks)
+         "Bounded falsification without abstraction or guidance, by plain \
+          sequential ATPG or incremental SAT — the baselines RFN's guided \
+          search improves on.")
+    Term.(const run $ netlist $ prop $ depth $ backtracks $ engine)
 
 (* ---- rfn simplify ----------------------------------------------------- *)
 

@@ -51,9 +51,9 @@ let rec extract_multi ?atpg_limits ?max_cube_tries ?use_mincut ?fn ~count vm
     let as_vars =
       List.map
         (fun (s, b) ->
-          match Varmap.cur_var vm s with
-          | v -> (v, b)
-          | exception Not_found -> (Varmap.inp_var vm s, b))
+          match Varmap.cur_var_opt vm s with
+          | Some v -> (v, b)
+          | None -> (Varmap.inp_var vm s, b))
         lits
     in
     let remaining = Bdd.diff man target (Bdd.cube man as_vars) in

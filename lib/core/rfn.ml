@@ -12,6 +12,31 @@ let src = Logs.Src.create "rfn" ~doc:"RFN abstraction refinement"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+type engines = Atpg_only | Sat_only | Portfolio
+
+let engines_to_string = function
+  | Atpg_only -> "atpg"
+  | Sat_only -> "sat"
+  | Portfolio -> "portfolio"
+
+let engines_of_string = function
+  | "atpg" -> Atpg_only
+  | "sat" -> Sat_only
+  | "portfolio" -> Portfolio
+  | s ->
+    invalid_arg
+      (Printf.sprintf
+         "unknown engine selection %S (expected atpg, sat or portfolio)" s)
+
+let engines_of_env () =
+  match Sys.getenv_opt "RFN_ENGINE" with
+  | None -> Atpg_only
+  | Some s -> (
+    try engines_of_string (String.trim s)
+    with Invalid_argument msg ->
+      Printf.eprintf "RFN_ENGINE ignored: %s\n%!" msg;
+      Atpg_only)
+
 type config = {
   max_iterations : int;
   node_limit : int;
@@ -20,6 +45,7 @@ type config = {
   abstract_atpg : Atpg.limits;
   concrete_atpg : Atpg.limits;
   guidance_traces : int;
+  engines : engines;
   supervisor : Supervisor.policy;
   inject : (Supervisor.site -> Supervisor.fault option) option;
   session : Session.policy;
@@ -34,6 +60,7 @@ let default_config =
     abstract_atpg = { Atpg.max_backtracks = 50_000; max_seconds = Some 20.0 };
     concrete_atpg = { Atpg.max_backtracks = 200_000; max_seconds = Some 60.0 };
     guidance_traces = 1;
+    engines = engines_of_env ();
     supervisor = Supervisor.default_policy;
     inject = None;
     session = Session.default_policy;
@@ -255,28 +282,51 @@ let verify ?(config = default_config) circuit prop =
             (* Step 3: search on the original design. A failure here is
                never fatal — an injected or resource failure degrades to
                a give-up, which escalates the backtrack budget for the
-               next iteration and refines. *)
+               next iteration and refines. Ladder per [config.engines]:
+               a give-up is an [Error], so in portfolio mode an ATPG
+               give-up escalates to SAT-guided BMC at the same depth
+               before the loop settles for refinement. *)
+            let guidance = List.map (fun h -> h.Hybrid.trace) hybrids in
+            let as_rung outcome =
+              match outcome with
+              | Concretize.Gave_up r -> Error r
+              | outcome -> Ok outcome
+            in
+            let atpg_rung () =
+              let outcome, _stats =
+                Concretize.guided_any
+                  ~limits:(Supervisor.concrete_limits sup config.concrete_atpg)
+                  circuit ~bad ~abstract_traces:guidance
+              in
+              as_rung outcome
+            in
+            let sat_rung () =
+              let outcome, _stats =
+                Sat_bmc.concretize
+                  ~limits:(Supervisor.concrete_limits sup config.concrete_atpg)
+                  circuit ~bad ~abstract_traces:guidance
+              in
+              as_rung outcome
+            in
+            let concretize_engine, concretize_rungs =
+              match config.engines with
+              | Atpg_only ->
+                (F.Seq_atpg, [ (Supervisor.Primary, "guided-atpg", atpg_rung) ])
+              | Sat_only ->
+                (F.Sat, [ (Supervisor.Primary, "guided-sat", sat_rung) ])
+              | Portfolio ->
+                ( F.Seq_atpg,
+                  [
+                    (Supervisor.Primary, "guided-atpg", atpg_rung);
+                    (Supervisor.Fallback, "guided-sat", sat_rung);
+                  ] )
+            in
             let concrete =
               Telemetry.with_span "rfn.concretize" ~attrs (fun () ->
                   match
                     Supervisor.run sup ~site:Supervisor.Concretize
-                      ~engine:F.Seq_atpg ~phase:F.Concretization
-                      ~iteration:iter
-                      [
-                        ( Supervisor.Primary,
-                          "guided-atpg",
-                          fun () ->
-                            let outcome, _stats =
-                              Concretize.guided_any
-                                ~limits:
-                                  (Supervisor.concrete_limits sup
-                                     config.concrete_atpg)
-                                circuit ~bad
-                                ~abstract_traces:
-                                  (List.map (fun h -> h.Hybrid.trace) hybrids)
-                            in
-                            Ok outcome );
-                      ]
+                      ~engine:concretize_engine ~phase:F.Concretization
+                      ~iteration:iter concretize_rungs
                   with
                   | Ok outcome -> outcome
                   | Error failure ->
@@ -336,15 +386,35 @@ let verify ?(config = default_config) circuit prop =
                 | Bmc.Exhausted, _ -> Error F.No_refinement
                 | Bmc.Gave_up _, _ -> Error F.Backtracks
               in
+              let sat_recheck () =
+                match
+                  Sat_bmc.falsify
+                    ~limits:(Supervisor.concrete_limits sup config.concrete_atpg)
+                    circuit ~bad ~max_depth:(Trace.length abstract_trace)
+                with
+                | Bmc.Found t, _ -> Ok (`Cex t)
+                | Bmc.Exhausted, _ -> Error F.No_refinement
+                | Bmc.Gave_up _, _ -> Error F.Conflicts
+              in
+              let refine_rungs =
+                (Supervisor.Primary, "crucial-registers", crucial)
+                :: (Supervisor.Fallback, "highest-fanout", highest_fanout)
+                ::
+                (match config.engines with
+                | Atpg_only -> [ (Supervisor.Fallback, "bmc-recheck", bmc_recheck) ]
+                | Sat_only ->
+                  [ (Supervisor.Fallback, "sat-bmc-recheck", sat_recheck) ]
+                | Portfolio ->
+                  [
+                    (Supervisor.Fallback, "bmc-recheck", bmc_recheck);
+                    (Supervisor.Fallback, "sat-bmc-recheck", sat_recheck);
+                  ])
+              in
               let refinement =
                 Telemetry.with_span "rfn.refine" ~attrs (fun () ->
                     Supervisor.run sup ~site:Supervisor.Refine
                       ~engine:F.Seq_atpg ~phase:F.Refinement ~iteration:iter
-                      [
-                        (Supervisor.Primary, "crucial-registers", crucial);
-                        (Supervisor.Fallback, "highest-fanout", highest_fanout);
-                        (Supervisor.Fallback, "bmc-recheck", bmc_recheck);
-                      ])
+                      refine_rungs)
               in
               match refinement with
               | Ok (`Add (regs, candidates)) ->

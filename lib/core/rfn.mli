@@ -24,6 +24,27 @@
     that survive the ladders surface as [Aborted] with a structured
     {!Rfn_failure.t}. *)
 
+type engines =
+  | Atpg_only  (** the paper's engines only: guided sequential ATPG *)
+  | Sat_only
+      (** replace guided ATPG and the BMC re-check with their
+          incremental-SAT twins ({!Sat_bmc}) *)
+  | Portfolio
+      (** ATPG first, SAT as an extra supervisor rung: a concretization
+          give-up escalates to SAT-guided BMC at the same depth, and the
+          empty-refinement BMC re-check gains a SAT twin *)
+
+val engines_to_string : engines -> string
+
+val engines_of_string : string -> engines
+(** Inverse of {!engines_to_string} ([atpg] / [sat] / [portfolio]).
+    Raises [Invalid_argument] on anything else. *)
+
+val engines_of_env : unit -> engines
+(** Reads the [RFN_ENGINE] environment variable; unset means
+    {!Atpg_only}, an unknown value warns on stderr and falls back to
+    {!Atpg_only}. *)
+
 type config = {
   max_iterations : int;
   node_limit : int;  (** BDD node budget per iteration *)
@@ -43,6 +64,10 @@ type config = {
       (** how many abstract error traces to extract and try as guidance
           for the concrete search (default 1; values above 1 implement
           the paper's future-work multi-trace guidance) *)
+  engines : engines;
+      (** which Step-3/Step-4 falsification engines run, and in what
+          order (default {!engines_of_env}, i.e. [RFN_ENGINE] or
+          {!Atpg_only}) *)
   supervisor : Supervisor.policy;
       (** retry/escalation/fallback and deadline-sharing knobs *)
   inject : (Supervisor.site -> Supervisor.fault option) option;

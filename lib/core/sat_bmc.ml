@@ -1,0 +1,102 @@
+open Rfn_circuit
+module Atpg = Rfn_atpg.Atpg
+module Solver = Rfn_sat.Solver
+module Cnf = Rfn_sat.Cnf
+module Sim3v = Rfn_sim3v.Sim3v
+module Telemetry = Rfn_obs.Telemetry
+
+let c_falsify = Telemetry.counter "sat_bmc.falsify_calls"
+let c_concretize = Telemetry.counter "sat_bmc.concretize_calls"
+let c_found = Telemetry.counter "sat_bmc.found"
+
+let limits_of_atpg (l : Atpg.limits) =
+  { Solver.max_conflicts = l.Atpg.max_backtracks;
+    max_seconds = l.Atpg.max_seconds }
+
+(* Pins of an abstract trace, cycle by cycle (the cubes only constrain
+   registers and inputs, both of which have frame literals on the whole
+   design). *)
+let trace_pins trace =
+  let pins = ref [] in
+  for j = 0 to Trace.length trace - 1 do
+    let add cube =
+      List.iter
+        (fun (s, v) -> pins := (j, s, v) :: !pins)
+        (Cube.to_list cube)
+    in
+    add (Trace.state trace j);
+    add (Trace.input trace j)
+  done;
+  !pins
+
+let falsify ?(limits = Atpg.default_limits) circuit ~bad ~max_depth =
+  Telemetry.incr c_falsify;
+  let view = Sview.whole circuit ~roots:[ bad ] in
+  let unr = Cnf.create view in
+  let solver = Cnf.solver unr in
+  let solver_limits = limits_of_atpg limits in
+  let rec deepen depth =
+    if depth > max_depth then (Bmc.Exhausted, Solver.stats solver)
+    else begin
+      Cnf.extend unr ~frames:depth;
+      let target = Cnf.lit_of unr ~frame:(depth - 1) bad in
+      match
+        Telemetry.with_span "sat_bmc.solve"
+          ~attrs:[ ("depth", Rfn_obs.Json.Int depth) ]
+          (fun () ->
+            Solver.solve ~limits:solver_limits ~assumptions:[ target ] solver)
+      with
+      | Solver.Sat ->
+        let t = Cnf.trace unr ~frames:depth in
+        if Sim3v.replay_concrete circuit t ~bad then begin
+          Telemetry.incr c_found;
+          (Bmc.Found t, Solver.stats solver)
+        end
+        else (Bmc.Gave_up depth, Solver.stats solver) (* engine bug guard *)
+      | Solver.Unsat -> deepen (depth + 1)
+      | Solver.Unknown _ -> (Bmc.Gave_up depth, Solver.stats solver)
+    end
+  in
+  deepen 1
+
+let concretize ?(limits = Atpg.default_limits) circuit ~bad ~abstract_traces =
+  if abstract_traces = [] then
+    invalid_arg "Sat_bmc.concretize: no abstract traces";
+  Telemetry.incr c_concretize;
+  let view = Sview.whole circuit ~roots:[ bad ] in
+  let unr = Cnf.create view in
+  let solver = Cnf.solver unr in
+  let solver_limits = limits_of_atpg limits in
+  let rec go gave_up = function
+    | [] ->
+      ( (match gave_up with
+        | None -> Concretize.Not_found_here
+        | Some r -> Concretize.Gave_up r),
+        Solver.stats solver )
+    | tr :: rest -> (
+      let frames = Trace.length tr in
+      Cnf.extend unr ~frames;
+      let assumptions =
+        Cnf.lit_of unr ~frame:(frames - 1) bad
+        :: Cnf.assumptions_of_pins unr (trace_pins tr)
+      in
+      match
+        Telemetry.with_span "sat_bmc.concretize"
+          ~attrs:[ ("frames", Rfn_obs.Json.Int frames) ]
+          (fun () -> Solver.solve ~limits:solver_limits ~assumptions solver)
+      with
+      | Solver.Sat ->
+        let t = Cnf.trace unr ~frames in
+        if Sim3v.replay_concrete circuit t ~bad then begin
+          Telemetry.incr c_found;
+          (Concretize.Found t, Solver.stats solver)
+        end
+        else
+          (* engine bug guard: never report unvalidated *)
+          ( Concretize.Gave_up
+              (Rfn_failure.Invariant "unvalidated SAT counterexample"),
+            Solver.stats solver )
+      | Solver.Unsat -> go gave_up rest
+      | Solver.Unknown r -> go (Some r) rest)
+  in
+  go None abstract_traces

@@ -1,0 +1,49 @@
+(** Bounded falsification by incremental SAT (the second engine family).
+
+    A drop-in twin of {!Bmc} built on {!Rfn_sat}: iterative-deepening
+    bounded model checking where every depth extends a single
+    incremental CNF instance (Eén, Mishchenko & Amla's single-instance
+    formulation) instead of re-running sequential ATPG from scratch.
+    The per-depth target is one assumption literal, so learned clauses
+    survive across depths and across guided queries.
+
+    Two modes are wired into the CEGAR loop:
+    - {!falsify} mirrors [Bmc.falsify] exactly (same outcome type, same
+      shortest-counterexample guarantee) and serves as the SAT twin of
+      the empty-refinement BMC re-check;
+    - {!concretize} is the guided mode: the abstract error trace's
+      constraint cubes are conjoined cycle by cycle as assumptions, so
+      it can replace (or back up) guided ATPG as the Step-3
+      concretizer. *)
+
+val limits_of_atpg : Rfn_atpg.Atpg.limits -> Rfn_sat.Solver.limits
+(** Map an ATPG resource budget onto the SAT solver: backtracks become
+    conflicts one-for-one, the wall-clock budget carries over. Keeps
+    the supervisor's deadline budgeting uniform across both engine
+    families. *)
+
+val falsify :
+  ?limits:Rfn_atpg.Atpg.limits ->
+  Rfn_circuit.Circuit.t ->
+  bad:int ->
+  max_depth:int ->
+  Bmc.outcome * Rfn_sat.Solver.stats
+(** Same contract as {!Bmc.falsify}: depths are tried in increasing
+    order on one incremental instance, a [Found] trace is a shortest
+    counterexample and is validated by concrete replay before being
+    reported. Statistics are the solver's lifetime totals for this
+    instance. *)
+
+val concretize :
+  ?limits:Rfn_atpg.Atpg.limits ->
+  Rfn_circuit.Circuit.t ->
+  bad:int ->
+  abstract_traces:Rfn_circuit.Trace.t list ->
+  Concretize.outcome * Rfn_sat.Solver.stats
+(** SAT-guided concretization: for each abstract trace, solve the
+    whole design unrolled to the trace's length under assumptions
+    pinning every state/input literal of the trace's constraint cubes
+    plus the bad signal at the last frame. Traces are tried in order on
+    the shared instance; a satisfying assignment is validated by replay
+    like [Concretize.guided_any]. Raises [Invalid_argument] on an empty
+    trace list. *)

@@ -1,4 +1,4 @@
-type engine = Bdd_mc | Hybrid | Seq_atpg | Bmc | Cegar
+type engine = Bdd_mc | Hybrid | Seq_atpg | Bmc | Sat | Cegar
 
 type phase =
   | Abstract_mc
@@ -12,6 +12,7 @@ type resource =
   | Steps
   | Time
   | Backtracks
+  | Conflicts
   | Cube_tries
   | Iterations
   | No_refinement
@@ -30,7 +31,8 @@ let make ?(iteration = 0) ?(retries = 0) ~engine ~phase resource =
   { engine; phase; resource; iteration; retries }
 
 let retryable_resource = function
-  | Nodes | Backtracks | Cube_tries | No_refinement | Injected | Invariant _ ->
+  | Nodes | Backtracks | Conflicts | Cube_tries | No_refinement | Injected
+  | Invariant _ ->
     true
   | Time | Steps | Iterations -> false
 
@@ -41,6 +43,7 @@ let engine_to_string = function
   | Hybrid -> "hybrid engine"
   | Seq_atpg -> "sequential ATPG engine"
   | Bmc -> "BMC engine"
+  | Sat -> "SAT engine"
   | Cegar -> "CEGAR driver"
 
 let phase_to_string = function
@@ -55,6 +58,7 @@ let resource_to_string = function
   | Steps -> "fixpoint step limit"
   | Time -> "time limit"
   | Backtracks -> "backtrack limit"
+  | Conflicts -> "conflict limit"
   | Cube_tries -> "cube-extension limit"
   | Iterations -> "iteration limit"
   | No_refinement -> "no crucial registers to add"
@@ -86,6 +90,7 @@ let engine_tag = function
   | Hybrid -> "hybrid"
   | Seq_atpg -> "seq_atpg"
   | Bmc -> "bmc"
+  | Sat -> "sat"
   | Cegar -> "cegar"
 
 let phase_tag = function
@@ -100,6 +105,7 @@ let resource_tag = function
   | Steps -> "steps"
   | Time -> "time"
   | Backtracks -> "backtracks"
+  | Conflicts -> "conflicts"
   | Cube_tries -> "cube_tries"
   | Iterations -> "iterations"
   | No_refinement -> "no_refinement"

@@ -20,6 +20,7 @@ type engine =
   | Hybrid  (** BDD–ATPG trace extraction *)
   | Seq_atpg  (** sequential ATPG (concretization, refinement checks) *)
   | Bmc  (** bounded falsification fallback *)
+  | Sat  (** incremental SAT bounded model checking *)
   | Cegar  (** the abstraction-refinement driver itself *)
 
 type phase =
@@ -34,6 +35,7 @@ type resource =
   | Steps  (** fixpoint step bound *)
   | Time  (** wall-clock budget *)
   | Backtracks  (** ATPG backtrack budget *)
+  | Conflicts  (** SAT solver conflict budget *)
   | Cube_tries  (** hybrid cube-extension attempts exhausted *)
   | Iterations  (** CEGAR iteration bound *)
   | No_refinement  (** no crucial registers found — the loop is stuck *)

@@ -42,7 +42,17 @@ let compile_view vm view ~memo =
             | Circuit.Reg _ -> Bdd.var man (Varmap.cur_var vm s)
             | Circuit.Gate (kind, fanins) ->
               gate_bdd man kind
-                (Array.map (fun x -> Hashtbl.find memo x) fanins)
+                (Array.map
+                   (fun x ->
+                     match Hashtbl.find_opt memo x with
+                     | Some f -> f
+                     | None ->
+                       invalid_arg
+                         (Printf.sprintf
+                            "Symbolic.compile_view: fanin %d (%s) of signal \
+                             %d (%s) not compiled (outside the view?)"
+                            x (Circuit.name c x) s (Circuit.name c s)))
+                   fanins)
             | Circuit.Input -> assert false
         in
         incr compiled;
@@ -61,7 +71,13 @@ let functions_for vm view =
       ignore (compile_view vm view ~memo);
       built := true
     end;
-    Hashtbl.find memo s
+    match Hashtbl.find_opt memo s with
+    | Some f -> f
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Symbolic.functions: signal %d (%s) was not compiled" s
+           (Circuit.name view.Sview.circuit s))
 
 let functions vm = functions_for vm (Varmap.view vm)
 
@@ -84,8 +100,13 @@ let state_cube vm cube =
   Bdd.cube man
     (List.map
        (fun (s, b) ->
-         match Varmap.cur_var vm s with
-         | v -> (v, b)
-         | exception Not_found ->
-           invalid_arg "Symbolic.state_cube: not a register of the view")
+         match Varmap.cur_var_opt vm s with
+         | Some v -> (v, b)
+         | None ->
+           invalid_arg
+             (Printf.sprintf
+                "Symbolic.state_cube: signal %d (%s) is not a register of \
+                 the view"
+                s
+                (Circuit.name (Varmap.view vm).Sview.circuit s)))
        (Cube.to_list cube))

@@ -28,7 +28,8 @@ val functions_for :
     the min-cut design, whose cut signals must first receive input
     variables through {!Varmap.add_input_vars}. Every free signal of
     the view needs an [Inp] variable and every register a [Cur]
-    variable, else [Not_found] is raised during construction. *)
+    variable, else [Invalid_argument] — naming the offending signal —
+    is raised during construction. *)
 
 val initial_states : Varmap.t -> Rfn_bdd.Bdd.t
 (** Conjunction of the registers' initial values over [Cur] variables;

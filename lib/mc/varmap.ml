@@ -150,17 +150,24 @@ let grow t ~view (d : Abstraction.delta) =
       | None -> add_fresh_reg p)
     d.Abstraction.promoted;
   List.iter add_fresh_reg d.Abstraction.fresh_regs;
+  (* Collect the appended input variables in reverse and splice them in
+     with one [List.rev] — appending to [initial_inp] one element at a
+     time inside the iteration is quadratic in the input count. *)
+  let appended_inp = ref [] in
   List.iter
     (fun s ->
-      (match Hashtbl.find_opt t.inp s with
-      | Some _ -> ()
-      | None ->
-        let v = Bdd.add_vars t.man 1 in
-        Hashtbl.replace t.inp s v;
-        Hashtbl.replace t.roles v (Inp s));
-      initial_inp := !initial_inp @ [ Hashtbl.find t.inp s ])
+      let v =
+        match Hashtbl.find_opt t.inp s with
+        | Some v -> v
+        | None ->
+          let v = Bdd.add_vars t.man 1 in
+          Hashtbl.replace t.inp s v;
+          Hashtbl.replace t.roles v (Inp s);
+          v
+      in
+      appended_inp := v :: !appended_inp)
     d.Abstraction.new_free_inputs;
-  { t with view; initial_inp = !initial_inp }
+  { t with view; initial_inp = !initial_inp @ List.rev !appended_inp }
 
 let replica ?node_limit t =
   let node_limit =
@@ -196,11 +203,33 @@ let remap t ~man ~map =
 
 let man t = t.man
 let view t = t.view
-let cur_var t s = Hashtbl.find t.cur s
-let nxt_var t s = Hashtbl.find t.nxt s
-let inp_var t s = Hashtbl.find t.inp s
+
+(* A miss here is a caller bug (asking for a role the signal does not
+   carry), so the error names the accessor, the signal and its role —
+   a bare [Not_found] escaping from deep inside the fixpoint engine is
+   undebuggable. *)
+let find_var what tbl t s =
+  match Hashtbl.find_opt tbl s with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Varmap.%s: signal %d (%s) has no such variable" what s
+         (Circuit.name t.view.Sview.circuit s))
+
+let cur_var t s = find_var "cur_var" t.cur t s
+let nxt_var t s = find_var "nxt_var" t.nxt t s
+let inp_var t s = find_var "inp_var" t.inp t s
+let cur_var_opt t s = Hashtbl.find_opt t.cur s
+let nxt_var_opt t s = Hashtbl.find_opt t.nxt s
+let inp_var_opt t s = Hashtbl.find_opt t.inp s
 let has_inp_var t s = Hashtbl.mem t.inp s
-let role t v = Hashtbl.find t.roles v
+
+let role t v =
+  match Hashtbl.find_opt t.roles v with
+  | Some r -> r
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Varmap.role: BDD variable %d has no allocated role" v)
 
 let vars_of tbl = Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
 
@@ -224,7 +253,7 @@ let rename_next_to_cur t f =
   Bdd.rename t.man
     (fun v ->
       match Hashtbl.find_opt t.roles v with
-      | Some (Nxt s) -> Hashtbl.find t.cur s
+      | Some (Nxt s) -> cur_var t s
       | _ -> v)
     f
 

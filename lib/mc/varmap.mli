@@ -60,16 +60,25 @@ val man : t -> Rfn_bdd.Bdd.man
 val view : t -> Rfn_circuit.Sview.t
 
 val cur_var : t -> int -> int
-(** Current-state variable of a register signal. Raises [Not_found]. *)
+(** Current-state variable of a register signal. Raises
+    [Invalid_argument] — naming the signal — when the signal carries no
+    such variable; callers that probe use {!cur_var_opt}. *)
 
 val nxt_var : t -> int -> int
 val inp_var : t -> int -> int
-(** Input variable of a free input or added cut signal. *)
+(** Input variable of a free input or added cut signal. Both raise
+    [Invalid_argument] like {!cur_var}. *)
+
+val cur_var_opt : t -> int -> int option
+val nxt_var_opt : t -> int -> int option
+val inp_var_opt : t -> int -> int option
+(** Non-raising probes for the three roles. *)
 
 val has_inp_var : t -> int -> bool
 
 val role : t -> int -> role
-(** Role of a BDD variable. Raises [Not_found] for unallocated. *)
+(** Role of a BDD variable. Raises [Invalid_argument] for a variable
+    without an allocated role. *)
 
 val cur_vars : t -> int list
 val nxt_vars : t -> int list

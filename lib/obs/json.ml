@@ -117,22 +117,63 @@ let parse_string st =
         | 'r' -> Buffer.add_char buf '\r'
         | 't' -> Buffer.add_char buf '\t'
         | 'u' ->
-          if st.pos + 4 > String.length st.src then fail st "bad \\u escape";
-          let hex = String.sub st.src st.pos 4 in
-          st.pos <- st.pos + 4;
-          let code =
-            try int_of_string ("0x" ^ hex)
-            with _ -> fail st "bad \\u escape"
+          (* Exactly four hex digits — [int_of_string ("0x" ^ hex)]
+             would also accept OCaml-isms like "1_23". *)
+          let hex4 () =
+            if st.pos + 4 > String.length st.src then
+              fail st "bad \\u escape: expected 4 hex digits";
+            let digit c =
+              match c with
+              | '0' .. '9' -> Char.code c - Char.code '0'
+              | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+              | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+              | _ -> fail st "bad \\u escape: expected 4 hex digits"
+            in
+            let v = ref 0 in
+            for i = 0 to 3 do
+              v := (!v lsl 4) lor digit st.src.[st.pos + i]
+            done;
+            st.pos <- st.pos + 4;
+            !v
           in
-          (* telemetry only ever emits codes < 0x80; decode the BMP as
+          let code = hex4 () in
+          let code =
+            if code >= 0xD800 && code <= 0xDBFF then begin
+              (* high surrogate: the matching low half must follow as
+                 another \u escape, and the pair combines into one
+                 supplementary-plane scalar *)
+              if
+                st.pos + 2 <= String.length st.src
+                && st.src.[st.pos] = '\\'
+                && st.src.[st.pos + 1] = 'u'
+              then begin
+                st.pos <- st.pos + 2;
+                let lo = hex4 () in
+                if lo < 0xDC00 || lo > 0xDFFF then
+                  fail st "unpaired high surrogate in \\u escape";
+                0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)
+              end
+              else fail st "unpaired high surrogate in \\u escape"
+            end
+            else if code >= 0xDC00 && code <= 0xDFFF then
+              fail st "unpaired low surrogate in \\u escape"
+            else code
+          in
+          (* telemetry only ever emits codes < 0x80; decode the rest as
              UTF-8 so foreign input still parses *)
           if code < 0x80 then Buffer.add_char buf (Char.chr code)
           else if code < 0x800 then begin
             Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
           end
-          else begin
+          else if code < 0x10000 then begin
             Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
           end

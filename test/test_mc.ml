@@ -37,6 +37,57 @@ let test_varmap_roles () =
     (Sview.num_free_inputs view)
     (List.length (Varmap.inp_vars vm))
 
+let test_varmap_miss_diagnostics () =
+  (* A role the signal does not carry must raise [Invalid_argument]
+     naming the accessor and the signal — not a bare [Not_found] from
+     deep inside a fixpoint. *)
+  let c = Helpers.arbiter_design () in
+  let bad = Circuit.output c "bad" in
+  let view = Sview.whole c ~roots:[ bad ] in
+  let vm = Varmap.make view in
+  let input = view.Sview.free_inputs.(0) in
+  let reg = view.Sview.regs.(0) in
+  let contains msg fragment =
+    let n = String.length msg and m = String.length fragment in
+    let rec go i = i + m <= n && (String.sub msg i m = fragment || go (i + 1)) in
+    go 0
+  in
+  let expect_invalid_arg label fragments f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+    | exception Invalid_argument msg ->
+      List.iter
+        (fun fragment ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: message %S mentions %S" label msg fragment)
+            true (contains msg fragment))
+        fragments
+  in
+  expect_invalid_arg "cur_var on an input"
+    [ "cur_var"; string_of_int input; Circuit.name c input ]
+    (fun () -> Varmap.cur_var vm input);
+  expect_invalid_arg "nxt_var on an input" [ "nxt_var" ] (fun () ->
+      Varmap.nxt_var vm input);
+  expect_invalid_arg "inp_var on a register"
+    [ "inp_var"; Circuit.name c reg ]
+    (fun () -> Varmap.inp_var vm reg);
+  expect_invalid_arg "role of an unallocated variable" [ "role"; "9999" ]
+    (fun () -> ignore (Varmap.role vm 9999));
+  (* the option probes stay silent *)
+  Alcotest.(check (option int)) "cur_var_opt misses" None
+    (Varmap.cur_var_opt vm input);
+  Alcotest.(check bool) "cur_var_opt hits" true
+    (Varmap.cur_var_opt vm reg = Some (Varmap.cur_var vm reg));
+  Alcotest.(check (option int)) "inp_var_opt misses" None
+    (Varmap.inp_var_opt vm reg);
+  Alcotest.(check (option int)) "nxt_var_opt misses" None
+    (Varmap.nxt_var_opt vm input);
+  (* Symbolic's cube builder wraps the miss with its own context *)
+  expect_invalid_arg "state_cube over a non-register"
+    [ "state_cube"; Circuit.name c input ]
+    (fun () ->
+      ignore (Symbolic.state_cube vm (Cube.of_list [ (input, true) ])))
+
 let test_add_input_vars () =
   let c = Helpers.arbiter_design () in
   let bad = Circuit.output c "bad" in
@@ -326,6 +377,8 @@ let test_force_reduces_span () =
 let tests =
   [
     Alcotest.test_case "varmap roles and interleaving" `Quick test_varmap_roles;
+    Alcotest.test_case "varmap miss diagnostics" `Quick
+      test_varmap_miss_diagnostics;
     Alcotest.test_case "add_input_vars" `Quick test_add_input_vars;
     cones_agree;
     image_agrees;

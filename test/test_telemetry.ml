@@ -211,6 +211,47 @@ let test_json_parser () =
       | _ -> Alcotest.fail ("accepted malformed input: " ^ bad))
     [ "{"; "[1,]"; "\"unterminated"; "1 2"; "nul" ]
 
+let test_json_unicode_escapes () =
+  (* BMP scalars decode to UTF-8 *)
+  List.iter
+    (fun (escaped, utf8) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "decodes %s" escaped)
+        true
+        (Json.of_string (Printf.sprintf "\"%s\"" escaped) = Json.Str utf8))
+    [
+      ("\\u0041", "A");
+      ("\\u00e9", "\xc3\xa9") (* é *);
+      ("\\u20ac", "\xe2\x82\xac") (* € *);
+      (* a surrogate pair combines into one astral scalar: U+1F600 *)
+      ("\\ud83d\\ude00", "\xf0\x9f\x98\x80");
+    ];
+  (* strictly 4 hex digits: the OCaml int literal syntax that
+     [int_of_string "0x…"] accepts must be rejected *)
+  List.iter
+    (fun bad ->
+      match Json.of_string (Printf.sprintf "\"%s\"" bad) with
+      | exception Failure _ -> ()
+      | j ->
+        Alcotest.failf "accepted bad \\u escape %s as %s" bad
+          (Json.to_string j))
+    [
+      "\\u12_3" (* underscore is an OCaml-ism, not hex *);
+      "\\u12";
+      "\\uX000";
+      "\\u-123";
+      (* lone surrogate halves must not leak into the output *)
+      "\\ud800";
+      "\\udc00";
+      "\\ud83d";
+      "\\ud83dx";
+      "\\ud83d\\u0041" (* high half followed by a non-low escape *);
+    ];
+  (* emitted control characters round-trip through the strict path *)
+  let j = Json.Str "ctl \x01\x1f" in
+  Alcotest.(check bool) "control chars round-trip" true
+    (Json.of_string (Json.to_string j) = j)
+
 let tests =
   [
     Alcotest.test_case "counter basics" `Quick test_counter_basics;
@@ -225,6 +266,8 @@ let tests =
     Alcotest.test_case "disabled registry fast path" `Quick
       test_disabled_fast_path;
     Alcotest.test_case "json parser round-trips" `Quick test_json_parser;
+    Alcotest.test_case "json unicode escapes" `Quick
+      test_json_unicode_escapes;
   ]
 
 let () = Alcotest.run "telemetry" [ ("telemetry", tests) ]
