@@ -23,15 +23,14 @@ open Rfn_circuit
 module E = Rfn_experiments.Experiments
 module Rfn = Rfn_core.Rfn
 module Atpg = Rfn_atpg.Atpg
-module Bdd = Rfn_bdd.Bdd
 module Varmap = Rfn_mc.Varmap
 module Symbolic = Rfn_mc.Symbolic
 module Image = Rfn_mc.Image
-module Reach = Rfn_mc.Reach
 module Sim3v = Rfn_sim3v.Sim3v
 module Mincut = Rfn_mincut.Mincut
 module Telemetry = Rfn_obs.Telemetry
 module Json = Rfn_obs.Json
+module Lint = Rfn_lint.Lint
 
 let has flag = Array.exists (( = ) flag) Sys.argv
 
@@ -227,7 +226,13 @@ let bench_json ~quick () =
       (fun (name, circuit, prop) ->
         Telemetry.reset ();
         Telemetry.enable ();
-        let outcome, stats = Rfn.verify circuit prop in
+        let lint_report = Lint.run ~props:[ prop ] circuit in
+        (* verify with phase-boundary invariant checks on, so every row
+           also records how many artifact audits the run survived *)
+        let config =
+          { Rfn.default_config with Rfn.check_invariants = true }
+        in
+        let outcome, stats = Rfn.verify ~config circuit prop in
         let sat_agrees = sat_cross_check circuit prop in
         let result =
           match outcome with
@@ -255,6 +260,26 @@ let bench_json ~quick () =
                 :: List.map
                      (fun (n, c) -> (n, Json.Int (Telemetry.counter_value c)))
                      sat_counters) );
+            ( "lint",
+              Json.Obj
+                [
+                  ( "findings",
+                    Json.Int (List.length lint_report.Lint.findings) );
+                  ("errors", Json.Int (Lint.errors lint_report));
+                  ("warnings", Json.Int (Lint.warnings lint_report));
+                ] );
+            ( "check",
+              Json.Obj
+                [
+                  ( "invariant_passes",
+                    Json.Int
+                      (Telemetry.counter_value
+                         (Telemetry.counter "check.invariant_passes")) );
+                  ( "invariant_failures",
+                    Json.Int
+                      (Telemetry.counter_value
+                         (Telemetry.counter "check.invariant_failures")) );
+                ] );
             ("retries", Json.Int (Telemetry.counter_value c_retries));
             ("fallbacks", Json.Int (Telemetry.counter_value c_fallbacks));
             ("escalations", Json.Int (Telemetry.counter_value c_escalations));

@@ -6,6 +6,7 @@ open Rfn_circuit
 module Rfn = Rfn_core.Rfn
 module Coverage = Rfn_core.Coverage
 module Telemetry = Rfn_obs.Telemetry
+module Lint = Rfn_lint.Lint
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -82,6 +83,30 @@ let teardown_telemetry ~profile =
   if profile then Format.printf "%a" Telemetry.pp_report ();
   Telemetry.detach ()
 
+(* --lint pre-flight shared by verify and bmc: refuse to start an
+   engine on a design the linter rejects. *)
+let lint_arg =
+  Cmdliner.Arg.(
+    value
+    & flag
+    & info [ "lint" ]
+        ~doc:
+          "Run the static lint passes on the design and property first; \
+           refuse to verify when any $(b,error)-severity finding is \
+           reported.")
+
+let preflight ~enabled circuit props =
+  if not enabled then true
+  else begin
+    let report = Lint.run ~props circuit in
+    if Lint.errors report > 0 then begin
+      Format.eprintf "%a" Lint.pp_report report;
+      Format.eprintf "lint: refusing to run (error findings above)@.";
+      false
+    end
+    else true
+  end
+
 (* ---- rfn verify ---------------------------------------------------- *)
 
 let verify_cmd =
@@ -117,7 +142,7 @@ let verify_cmd =
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
   let run netlist prop seconds nodes iters engines trace_out baseline
-      inject_faults metrics_out profile verbose =
+      inject_faults lint metrics_out profile verbose =
     setup_logs verbose;
     match load netlist with
     | Error msg ->
@@ -128,6 +153,7 @@ let verify_cmd =
       | exception Not_found ->
         Format.eprintf "error: no output named %S@." prop;
         1
+      | property when not (preflight ~enabled:lint circuit [ property ]) -> 1
       | property -> (
         match
           match inject_faults with
@@ -203,8 +229,8 @@ let verify_cmd =
        ~doc:"Verify that an output signal can never be driven to 1.")
     Term.(
       const run $ netlist $ prop $ seconds $ nodes $ iters $ engines_arg
-      $ trace_out $ baseline $ inject_faults $ metrics_out_arg $ profile_arg
-      $ verbose)
+      $ trace_out $ baseline $ inject_faults $ lint_arg $ metrics_out_arg
+      $ profile_arg $ verbose)
 
 (* ---- rfn coverage --------------------------------------------------- *)
 
@@ -292,7 +318,7 @@ let bmc_cmd =
              $(b,sat) (one incremental CNF instance across depths; \
              --max-backtracks bounds conflicts).")
   in
-  let run netlist prop depth backtracks engine =
+  let run netlist prop depth backtracks engine lint =
     match load netlist with
     | Error msg ->
       Format.eprintf "error: %s@." msg;
@@ -301,6 +327,11 @@ let bmc_cmd =
       match Circuit.output circuit prop with
       | exception Not_found ->
         Format.eprintf "error: no output named %S@." prop;
+        1
+      | bad
+        when not
+               (preflight ~enabled:lint circuit
+                  [ Property.make ~name:prop ~bad ]) ->
         1
       | bad -> (
         let limits =
@@ -348,7 +379,78 @@ let bmc_cmd =
          "Bounded falsification without abstraction or guidance, by plain \
           sequential ATPG or incremental SAT — the baselines RFN's guided \
           search improves on.")
-    Term.(const run $ netlist $ prop $ depth $ backtracks $ engine)
+    Term.(const run $ netlist $ prop $ depth $ backtracks $ engine $ lint_arg)
+
+(* ---- rfn lint --------------------------------------------------------- *)
+
+let lint_cmd =
+  let netlist =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST")
+  in
+  let props =
+    Arg.(
+      value
+      & pos_right 0 string []
+      & info [] ~docv:"OUTPUT"
+          ~doc:
+            "Output signals to lint as properties (bad-state indicators). \
+             Defaults to every declared output.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the findings as a JSON object.")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"PASSES"
+          ~doc:"Comma-separated pass names to run (default: all).")
+  in
+  let run netlist prop_names json only metrics_out profile =
+    match load netlist with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok circuit -> (
+      let names =
+        match prop_names with
+        | [] -> List.map fst circuit.Circuit.outputs
+        | names -> names
+      in
+      match List.map (Property.of_output circuit) names with
+      | exception Not_found ->
+        Format.eprintf "error: unknown output among %s@."
+          (String.concat ", " names);
+        1
+      | props -> (
+        match setup_telemetry ~metrics_out ~profile with
+        | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          1
+        | Ok () -> (
+          let only = Option.map (String.split_on_char ',') only in
+          match Lint.run ?only ~props circuit with
+          | exception Invalid_argument msg ->
+            Format.eprintf "error: %s@." msg;
+            1
+          | report ->
+            if json then
+              print_endline
+                (Rfn_obs.Json.to_string (Lint.report_to_json circuit report))
+            else Format.printf "%a" Lint.pp_report report;
+            teardown_telemetry ~profile;
+            if Lint.errors report > 0 then 1 else 0)))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static-analysis passes (design and property lints) and \
+          report structured findings; exits 1 when any error-severity \
+          finding is reported.")
+    Term.(
+      const run $ netlist $ props $ json $ only $ metrics_out_arg $ profile_arg)
 
 (* ---- rfn simplify ----------------------------------------------------- *)
 
@@ -424,4 +526,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "rfn" ~version:"1.0.0" ~doc)
-          [ verify_cmd; coverage_cmd; bmc_cmd; simplify_cmd; stats_cmd ]))
+          [ verify_cmd; coverage_cmd; bmc_cmd; lint_cmd; simplify_cmd; stats_cmd ]))

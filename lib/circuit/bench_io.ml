@@ -33,10 +33,10 @@ let parse_line lineno line (inputs, outputs, defs) =
       else None
     in
     match paren_form "INPUT" with
-    | Some name -> (name :: inputs, outputs, defs)
+    | Some name -> ((lineno, name) :: inputs, outputs, defs)
     | None -> (
       match paren_form "OUTPUT" with
-      | Some name -> (inputs, name :: outputs, defs)
+      | Some name -> (inputs, (lineno, name) :: outputs, defs)
       | None -> (
         match String.index_opt line '=' with
         | None -> syntax_error lineno "expected INPUT, OUTPUT or definition"
@@ -99,9 +99,9 @@ let parse text =
     defs;
   let ids : (string, int) Hashtbl.t = Hashtbl.create 97 in
   List.iter
-    (fun name ->
+    (fun (lineno, name) ->
       if Hashtbl.mem table name || Hashtbl.mem ids name then
-        failwith (Printf.sprintf "Bench_io: INPUT %S also defined" name);
+        syntax_error lineno (Printf.sprintf "INPUT %S also defined" name);
       Hashtbl.add ids name (B.input b name))
     inputs;
   (* Registers first so that feedback through them is legal. *)
@@ -111,18 +111,34 @@ let parse text =
       | Dreg (init, _) -> Hashtbl.add ids name (B.reg b ~init name)
       | Dgate _ | Dconst _ -> ())
     defs;
-  let building : (string, unit) Hashtbl.t = Hashtbl.create 17 in
-  let rec resolve name =
+  (* [building] is the resolution stack (most recent first): membership
+     detects a combinational cycle, and the stack itself names the full
+     ordered cycle path in the error. [at] is the line referencing
+     [name], used when [name] has no definition of its own. *)
+  let building : string list ref = ref [] in
+  let rec resolve ~at name =
     match Hashtbl.find_opt ids name with
     | Some id -> id
     | None -> (
-      if Hashtbl.mem building name then
-        failwith
-          (Printf.sprintf "Bench_io: combinational cycle through %S" name);
-      Hashtbl.add building name ();
+      if List.mem name !building then begin
+        let rec ancestors acc = function
+          | [] -> List.rev acc
+          | x :: _ when x = name -> List.rev acc
+          | x :: rest -> ancestors (x :: acc) rest
+        in
+        let path =
+          (name :: List.rev (ancestors [] !building)) @ [ name ]
+        in
+        syntax_error
+          (try Hashtbl.find line_of name with Not_found -> at)
+          (Printf.sprintf "combinational cycle: %s"
+             (String.concat " -> " path))
+      end;
+      building := name :: !building;
       let id =
         match Hashtbl.find_opt table name with
-        | None -> failwith (Printf.sprintf "Bench_io: undefined signal %S" name)
+        | None ->
+          syntax_error at (Printf.sprintf "undefined signal %S" name)
         | Some (Dconst bv) ->
           (* The builder interns constants under fixed names; reuse the
              cell when the netlist uses that very name (as printed
@@ -131,11 +147,16 @@ let parse text =
           if name = (if bv then "const_1" else "const_0") then cid
           else B.gate b ~name Gate.Buf [| cid |]
         | Some (Dgate (kind, args)) ->
-          let fanins = Array.of_list (List.map resolve args) in
+          let def_line =
+            try Hashtbl.find line_of name with Not_found -> at
+          in
+          let fanins =
+            Array.of_list (List.map (resolve ~at:def_line) args)
+          in
           B.gate b ~name kind fanins
         | Some (Dreg _) -> assert false (* created above *)
       in
-      Hashtbl.remove building name;
+      building := List.tl !building;
       Hashtbl.add ids name id;
       id)
   in
@@ -144,15 +165,16 @@ let parse text =
       match def with
       | Dreg (_, d) ->
         let r = Hashtbl.find ids name in
-        (try B.connect b r (resolve d)
-         with Failure m -> syntax_error lineno m)
-      | Dgate _ | Dconst _ -> ignore (resolve name))
+        (try B.connect b r (resolve ~at:lineno d)
+         with Invalid_argument m -> syntax_error lineno m)
+      | Dgate _ | Dconst _ -> ignore (resolve ~at:lineno name))
     defs;
   List.iter
-    (fun name ->
+    (fun (lineno, name) ->
       match Hashtbl.find_opt ids name with
       | Some id -> B.output b name id
-      | None -> failwith (Printf.sprintf "Bench_io: OUTPUT %S undefined" name))
+      | None ->
+        syntax_error lineno (Printf.sprintf "OUTPUT %S undefined" name))
     outputs;
   B.finalize b
 

@@ -251,21 +251,33 @@ module Builder = struct
     let state = Bytes.make n '\000' in
     (* 0 unvisited, 1 on stack, 2 done *)
     let order = ref [] in
+    let trail = ref [] in
+    (* DFS stack of on-stack signals, most recent first *)
     let rec visit s =
       match Bytes.get state s with
       | '\002' -> ()
       | '\001' ->
+        (* the error names the full ordered cycle: each signal reads
+           the next, wrapping back to [s] *)
+        let rec ancestors acc = function
+          | [] -> List.rev acc
+          | x :: _ when x = s -> List.rev acc
+          | x :: rest -> ancestors (x :: acc) rest
+        in
+        let path = (s :: List.rev (ancestors [] !trail)) @ [ s ] in
         invalid_arg
-          (Printf.sprintf "Circuit.Builder.finalize: combinational cycle at %S"
-             names.(s))
+          (Printf.sprintf "Circuit.Builder.finalize: combinational cycle: %s"
+             (String.concat " -> " (List.map (fun i -> names.(i)) path)))
       | _ ->
         Bytes.set state s '\001';
+        trail := s :: !trail;
         (match nodes.(s) with
         | Gate (_, fanins) ->
           Array.iter visit fanins;
           level.(s) <-
             1 + Array.fold_left (fun m f -> max m level.(f)) 0 fanins
         | Input | Const _ | Reg _ -> ());
+        trail := List.tl !trail;
         Bytes.set state s '\002';
         order := s :: !order
     in

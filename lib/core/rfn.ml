@@ -49,6 +49,10 @@ type config = {
   supervisor : Supervisor.policy;
   inject : (Supervisor.site -> Supervisor.fault option) option;
   session : Session.policy;
+  check_invariants : bool;
+      (* validate cross-artifact invariants (varmap totality, trace
+         shape, cone-cache consistency) at every phase boundary;
+         defaults to the RFN_CHECK environment flag *)
 }
 
 let default_config =
@@ -64,6 +68,7 @@ let default_config =
     supervisor = Supervisor.default_policy;
     inject = None;
     session = Session.default_policy;
+    check_invariants = Rfn_lint.Check.env_enabled ();
   }
 
 type iteration = {
@@ -117,6 +122,19 @@ let verify ?(config = default_config) circuit prop =
   let time_left () = Supervisor.time_left sup in
   let loop_failure iter resource =
     F.make ~iteration:iter ~engine:F.Cegar ~phase:F.Loop resource
+  in
+  (* Cross-artifact invariant checks at phase boundaries (RFN_CHECK=1 /
+     [config.check_invariants]): a violation unwinds the loop into a
+     structured [Invariant] abort instead of corrupting later phases. *)
+  let exception Check_violation of F.t in
+  let check ~iter ~engine ~phase ~what thunk =
+    if config.check_invariants then
+      try Rfn_lint.Check.ensure ~what (thunk ())
+      with Rfn_lint.Check.Violation (w, fs) ->
+        raise
+          (Check_violation
+             (F.make ~iteration:iter ~engine ~phase
+                (F.Invariant (Rfn_lint.Check.violation_message w fs))))
   in
   let rec iterate iter =
     let abstraction = Session.abstraction session in
@@ -203,6 +221,11 @@ let verify ?(config = default_config) circuit prop =
         record 0;
         finish abstraction (Aborted failure)
       | Ok (vm, fn, res) -> (
+        check ~iter ~engine:F.Bdd_mc ~phase:F.Abstract_mc
+          ~what:"abstract-mc artifacts" (fun () ->
+            Rfn_lint.Check.varmap vm
+            @ Rfn_lint.Check.cone_cache vm
+                ~signals:(Session.cone_signals session));
         match res.Reach.outcome with
         | Reach.Proved ->
           record res.Reach.steps;
@@ -265,6 +288,18 @@ let verify ?(config = default_config) circuit prop =
             record res.Reach.steps;
             finish abstraction (Aborted failure)
           | Ok (hybrid :: _ as hybrids) -> (
+            check ~iter ~engine:F.Hybrid ~phase:F.Trace_extraction
+              ~what:"abstract error traces" (fun () ->
+                (* input cubes may also pin min-cut signals, which carry
+                   an input variable in the varmap *)
+                let input_ok s =
+                  Sview.is_free view s || Varmap.has_inp_var vm s
+                in
+                List.concat_map
+                  (fun h ->
+                    Rfn_lint.Check.trace ~input_ok view ~depth:(k + 1)
+                      h.Hybrid.trace)
+                  hybrids);
             let abstract_trace = hybrid.Hybrid.trace in
             last_trace := Some abstract_trace;
             Log.info (fun m ->
@@ -332,8 +367,16 @@ let verify ?(config = default_config) circuit prop =
                   | Error failure ->
                     Concretize.Gave_up failure.F.resource)
             in
+            let check_concrete_trace ~engine t =
+              check ~iter ~engine ~phase:F.Concretization
+                ~what:"concrete counterexample" (fun () ->
+                  Rfn_lint.Check.trace
+                    (Sview.whole circuit ~roots:[])
+                    ~depth:(Trace.length t) t)
+            in
             match concrete with
             | Concretize.Found t ->
+              check_concrete_trace ~engine:concretize_engine t;
               record_hybrid ();
               Log.info (fun m -> m "concrete counterexample found");
               finish abstraction (Falsified t)
@@ -428,8 +471,14 @@ let verify ?(config = default_config) circuit prop =
                       (List.length delta.Abstraction.promoted)
                       (List.length delta.Abstraction.fresh_regs)
                       delta.Abstraction.new_signals);
+                check ~iter ~engine:F.Cegar ~phase:F.Refinement
+                  ~what:"post-refine varmap" (fun () ->
+                    match Session.varmap session with
+                    | None -> []
+                    | Some vm -> Rfn_lint.Check.varmap vm);
                 iterate (iter + 1)
               | Ok (`Cex t) ->
+                check_concrete_trace ~engine:F.Seq_atpg t;
                 record_hybrid ();
                 Log.info (fun m ->
                     m "BMC re-check found a concrete counterexample");
@@ -447,7 +496,9 @@ let verify ?(config = default_config) circuit prop =
                     (F.Invariant "hybrid engine returned no abstract traces")))))
     end
   in
-  iterate 1
+  try iterate 1
+  with Check_violation failure ->
+    finish (Session.abstraction session) (Aborted failure)
 
 let check_coi_model_checking ?(node_limit = 2_000_000) ?(max_steps = 10_000)
     ?max_seconds circuit prop =

@@ -76,6 +76,14 @@ type config = {
   session : Session.policy;
       (** persistent-session knobs: incremental reuse on/off and the
           grow-vs-rebuild thresholds ({!Session.default_policy}) *)
+  check_invariants : bool;
+      (** validate cross-artifact invariants ({!Rfn_lint.Check}) at
+          every CEGAR phase boundary — varmap↔view totality and the
+          session cone cache after each prepare, trace shape after
+          extraction and concretization, the grown varmap after each
+          refinement; a violation aborts with a structured
+          [Invariant] failure. Defaults to the [RFN_CHECK]
+          environment flag ({!Rfn_lint.Check.env_enabled}) *)
 }
 
 val default_config : config

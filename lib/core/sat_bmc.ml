@@ -5,6 +5,8 @@ module Cnf = Rfn_sat.Cnf
 module Sim3v = Rfn_sim3v.Sim3v
 module Telemetry = Rfn_obs.Telemetry
 
+module Check = Rfn_lint.Check
+
 let c_falsify = Telemetry.counter "sat_bmc.falsify_calls"
 let c_concretize = Telemetry.counter "sat_bmc.concretize_calls"
 let c_found = Telemetry.counter "sat_bmc.found"
@@ -29,6 +31,17 @@ let trace_pins trace =
   done;
   !pins
 
+(* CNF sanity + assumption-pin totality under RFN_CHECK: returns the
+   violation message instead of raising, so the BMC loops can degrade
+   into their give-up outcomes. *)
+let unrolling_violation ~what unr ~pins =
+  if not (Check.env_enabled ()) then None
+  else
+    match Check.ensure ~what (Check.cnf unr @ Check.pins unr pins) with
+    | () -> None
+    | exception Check.Violation (w, fs) ->
+      Some (Check.violation_message w fs)
+
 let falsify ?(limits = Atpg.default_limits) circuit ~bad ~max_depth =
   Telemetry.incr c_falsify;
   let view = Sview.whole circuit ~roots:[ bad ] in
@@ -39,6 +52,12 @@ let falsify ?(limits = Atpg.default_limits) circuit ~bad ~max_depth =
     if depth > max_depth then (Bmc.Exhausted, Solver.stats solver)
     else begin
       Cnf.extend unr ~frames:depth;
+      match unrolling_violation ~what:"sat_bmc.falsify unrolling" unr ~pins:[]
+      with
+      | Some _ ->
+        (* the violation is on the check.* counters and the sink *)
+        (Bmc.Gave_up depth, Solver.stats solver)
+      | None -> (
       let target = Cnf.lit_of unr ~frame:(depth - 1) bad in
       match
         Telemetry.with_span "sat_bmc.solve"
@@ -54,7 +73,7 @@ let falsify ?(limits = Atpg.default_limits) circuit ~bad ~max_depth =
         end
         else (Bmc.Gave_up depth, Solver.stats solver) (* engine bug guard *)
       | Solver.Unsat -> deepen (depth + 1)
-      | Solver.Unknown _ -> (Bmc.Gave_up depth, Solver.stats solver)
+      | Solver.Unknown _ -> (Bmc.Gave_up depth, Solver.stats solver))
     end
   in
   deepen 1
@@ -76,9 +95,16 @@ let concretize ?(limits = Atpg.default_limits) circuit ~bad ~abstract_traces =
     | tr :: rest -> (
       let frames = Trace.length tr in
       Cnf.extend unr ~frames;
+      let pins = trace_pins tr in
+      match
+        unrolling_violation ~what:"sat_bmc.concretize unrolling" unr ~pins
+      with
+      | Some msg ->
+        (Concretize.Gave_up (Rfn_failure.Invariant msg), Solver.stats solver)
+      | None -> (
       let assumptions =
         Cnf.lit_of unr ~frame:(frames - 1) bad
-        :: Cnf.assumptions_of_pins unr (trace_pins tr)
+        :: Cnf.assumptions_of_pins unr pins
       in
       match
         Telemetry.with_span "sat_bmc.concretize"
@@ -97,6 +123,6 @@ let concretize ?(limits = Atpg.default_limits) circuit ~bad ~abstract_traces =
               (Rfn_failure.Invariant "unvalidated SAT counterexample"),
             Solver.stats solver )
       | Solver.Unsat -> go gave_up rest
-      | Solver.Unknown r -> go (Some r) rest)
+      | Solver.Unknown r -> go (Some r) rest))
   in
   go None abstract_traces

@@ -45,7 +45,7 @@ type t = {
       (* order seed for the next from-scratch varmap, kept across a
          non-fresh-order reset *)
   mutable memo : (int, Bdd.t) Hashtbl.t;
-  mutable cache : Image.cache;
+  cache : Image.cache;
   mutable prepared : prepared option;
   mutable grew : bool;  (* an in-place grow since the last prepare *)
   mutable baseline_nodes : int;
@@ -69,6 +69,8 @@ let create ?(node_limit = max_int) ?(policy = default_policy) circuit ~roots =
 
 let abstraction t = t.abstraction
 let policy t = t.policy
+let varmap t = t.vm
+let cone_signals t = Hashtbl.fold (fun s _ acc -> s :: acc) t.memo []
 
 (* Drop every per-manager structure. The old manager (if any) is
    released wholesale, so nothing needs unprotecting. *)

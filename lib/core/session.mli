@@ -75,6 +75,15 @@ val create :
 val abstraction : t -> Rfn_circuit.Abstraction.t
 val policy : t -> policy
 
+val varmap : t -> Rfn_mc.Varmap.t option
+(** The session's current varmap, if one has been built — the
+    [RFN_CHECK] invariant checker's view into the shared state. *)
+
+val cone_signals : t -> int list
+(** Signals holding a compiled cone in the session memo (the
+    [Rfn_lint.Check.cone_cache] input). Total over the view's inside
+    set right after {!prepare}. *)
+
 val prepare : t -> prepared
 (** Make the symbolic state match the current abstraction: compile the
     missing cones, re-cluster the dirty suffix of the relation, apply

@@ -1,0 +1,420 @@
+module Circuit = Rfn_circuit.Circuit
+module Property = Rfn_circuit.Property
+module Gate = Rfn_circuit.Gate
+module Coi = Rfn_circuit.Coi
+module Sview = Rfn_circuit.Sview
+module Bitset = Rfn_circuit.Bitset
+module Sim3v = Rfn_sim3v.Sim3v
+module Json = Rfn_obs.Json
+module Telemetry = Rfn_obs.Telemetry
+
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type finding = {
+  pass : string;
+  severity : severity;
+  signals : int list;
+  message : string;
+}
+
+let finding ~pass ~severity ?(signals = []) message =
+  { pass; severity; signals; message }
+
+type report = { findings : finding list; passes_run : string list }
+type ctx = { circuit : Circuit.t; props : Property.t list }
+type pass = { name : string; doc : string; run : ctx -> finding list }
+
+(* ---- registry -------------------------------------------------------- *)
+
+let registry : pass list ref = ref []
+
+let register p =
+  if List.exists (fun q -> q.name = p.name) !registry then
+    registry := List.map (fun q -> if q.name = p.name then p else q) !registry
+  else registry := !registry @ [ p ]
+
+let passes () = !registry
+
+(* ---- helpers --------------------------------------------------------- *)
+
+(* Cap rendered name lists so a pathological design does not produce a
+   pathological diagnostic. *)
+let name_list ?(cap = 8) c signals =
+  let n = List.length signals in
+  let shown =
+    List.filteri (fun i _ -> i < cap) signals |> List.map (Circuit.name c)
+  in
+  let body = String.concat ", " shown in
+  if n > cap then Printf.sprintf "%s, ... (%d more)" body (n - cap) else body
+
+let declared_output c s = List.exists (fun (_, x) -> x = s) c.Circuit.outputs
+let prop_root props s = List.exists (fun p -> p.Property.bad = s) props
+
+(* Ternary constant propagation over the whole design: registers start
+   from their declared initial values ([`Free] as X), primary inputs
+   stay X, and a register's accumulated value widens to X as soon as
+   any step disagrees with it. The result over-approximates the set of
+   reachable states, so a concrete entry is a true structural
+   constant. Terminates in at most [num_registers + 1] sweeps: each
+   sweep either changes nothing or widens at least one register, and
+   widening is one-way. *)
+let ternary_fixpoint c =
+  let view = Sview.whole c ~roots:[] in
+  let state = Array.make (Circuit.num_signals c) Sim3v.VX in
+  Array.iter
+    (fun r ->
+      match Circuit.node c r with
+      | Circuit.Reg { init = `Zero; _ } -> state.(r) <- Sim3v.V0
+      | Circuit.Reg { init = `One; _ } -> state.(r) <- Sim3v.V1
+      | _ -> ())
+    c.Circuit.registers;
+  let values = ref [||] in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let vs = Sim3v.eval view ~free:(fun _ -> Sim3v.VX) ~state:(fun r -> state.(r)) in
+    values := vs;
+    Array.iter
+      (fun r ->
+        match Circuit.node c r with
+        | Circuit.Reg { next; _ } ->
+          if state.(r) <> Sim3v.VX && vs.(next) <> state.(r) then begin
+            state.(r) <- Sim3v.VX;
+            changed := true
+          end
+        | _ -> ())
+      c.Circuit.registers
+  done;
+  (!values, state)
+
+let v_to_string = function
+  | Sim3v.V0 -> "0"
+  | Sim3v.V1 -> "1"
+  | Sim3v.VX -> "X"
+
+(* ---- design passes --------------------------------------------------- *)
+
+let pass_const_reg =
+  {
+    name = "const-reg";
+    doc = "registers whose next-state input is structurally constant";
+    run =
+      (fun { circuit = c; _ } ->
+        let values, _ = ternary_fixpoint c in
+        Array.to_list c.Circuit.registers
+        |> List.filter_map (fun r ->
+               match Circuit.node c r with
+               | Circuit.Reg { init; next } -> (
+                 match values.(next) with
+                 | Sim3v.VX -> None
+                 | v ->
+                   let init_s =
+                     match init with
+                     | `Zero -> "0"
+                     | `One -> "1"
+                     | `Free -> "free"
+                   in
+                   Some
+                     (finding ~pass:"const-reg" ~severity:Warning ~signals:[ r ]
+                        (Printf.sprintf
+                           "register %S next-state is constant %s (init %s)"
+                           (Circuit.name c r) (v_to_string v) init_s)))
+               | _ -> None));
+  }
+
+let pass_self_loop_reg =
+  {
+    name = "self-loop-reg";
+    doc = "registers clocked from their own output";
+    run =
+      (fun { circuit = c; _ } ->
+        Array.to_list c.Circuit.registers
+        |> List.filter_map (fun r ->
+               match Circuit.node c r with
+               | Circuit.Reg { next; _ } when next = r ->
+                 Some
+                   (finding ~pass:"self-loop-reg" ~severity:Warning
+                      ~signals:[ r ]
+                      (Printf.sprintf
+                         "register %S next-state is its own output (it holds \
+                          its initial value forever)"
+                         (Circuit.name c r)))
+               | _ -> None));
+  }
+
+let pass_dead_input =
+  {
+    name = "dead-input";
+    doc = "primary inputs that drive no logic";
+    run =
+      (fun { circuit = c; _ } ->
+        Array.to_list c.Circuit.inputs
+        |> List.filter_map (fun i ->
+               if Array.length c.Circuit.fanouts.(i) = 0 && not (declared_output c i)
+               then
+                 Some
+                   (finding ~pass:"dead-input" ~severity:Warning ~signals:[ i ]
+                      (Printf.sprintf "primary input %S drives no logic"
+                         (Circuit.name c i)))
+               else None));
+  }
+
+let pass_floating_gate =
+  {
+    name = "floating-gate";
+    doc = "gates whose output is read by nothing and declared by nothing";
+    run =
+      (fun { circuit = c; props } ->
+        let acc = ref [] in
+        for s = Circuit.num_signals c - 1 downto 0 do
+          match Circuit.node c s with
+          | Circuit.Gate _
+            when Array.length c.Circuit.fanouts.(s) = 0
+                 && (not (declared_output c s))
+                 && not (prop_root props s) ->
+            acc :=
+              finding ~pass:"floating-gate" ~severity:Warning ~signals:[ s ]
+                (Printf.sprintf "gate %S output is never read"
+                   (Circuit.name c s))
+              :: !acc
+          | _ -> ()
+        done;
+        !acc);
+  }
+
+let pass_unreachable =
+  {
+    name = "unreachable-logic";
+    doc = "logic outside the cone of influence of every output and property";
+    run =
+      (fun { circuit = c; props } ->
+        let roots =
+          List.map snd c.Circuit.outputs
+          @ List.concat_map Property.roots props
+        in
+        if roots = [] then []
+        else begin
+          let coi = Coi.compute c ~roots in
+          let dead = ref [] in
+          for s = Circuit.num_signals c - 1 downto 0 do
+            let reachable =
+              Bitset.mem coi.Coi.regs s || Bitset.mem coi.Coi.gates s
+              || Bitset.mem coi.Coi.inputs s
+              || List.mem s roots
+              || match Circuit.node c s with Circuit.Const _ -> true | _ -> false
+            in
+            if not reachable then dead := s :: !dead
+          done;
+          match !dead with
+          | [] -> []
+          | dead ->
+            [
+              finding ~pass:"unreachable-logic" ~severity:Info ~signals:dead
+                (Printf.sprintf
+                   "%d signal(s) outside every output/property cone: %s"
+                   (List.length dead) (name_list c dead));
+            ]
+        end);
+  }
+
+let pass_duplicate_gate =
+  {
+    name = "duplicate-gate";
+    doc = "structurally identical gates (same kind and fanins)";
+    run =
+      (fun { circuit = c; _ } ->
+        let groups : (string, int list) Hashtbl.t = Hashtbl.create 97 in
+        for s = 0 to Circuit.num_signals c - 1 do
+          match Circuit.node c s with
+          | Circuit.Gate (kind, fanins) ->
+            let key =
+              Gate.to_string kind ^ ":"
+              ^ String.concat ","
+                  (Array.to_list (Array.map string_of_int fanins))
+            in
+            let prev = try Hashtbl.find groups key with Not_found -> [] in
+            Hashtbl.replace groups key (s :: prev)
+          | _ -> ()
+        done;
+        Hashtbl.fold
+          (fun _ signals acc ->
+            match signals with
+            | _ :: _ :: _ ->
+              let signals = List.rev signals in
+              finding ~pass:"duplicate-gate" ~severity:Info ~signals
+                (Printf.sprintf "%d structurally identical gates: %s"
+                   (List.length signals) (name_list c signals))
+              :: acc
+            | _ -> acc)
+          groups []
+        |> List.sort (fun a b -> compare a.signals b.signals));
+  }
+
+(* ---- property passes ------------------------------------------------- *)
+
+let pass_prop_const =
+  {
+    name = "prop-const";
+    doc = "structurally constant property signals (vacuous verification)";
+    run =
+      (fun { circuit = c; props } ->
+        if props = [] then []
+        else begin
+          let values, _ = ternary_fixpoint c in
+          List.filter_map
+            (fun p ->
+              let bad = p.Property.bad in
+              match values.(bad) with
+              | Sim3v.VX -> None
+              | Sim3v.V1 ->
+                Some
+                  (finding ~pass:"prop-const" ~severity:Error ~signals:[ bad ]
+                     (Printf.sprintf
+                        "property %S is structurally false: bad signal %S is \
+                         stuck at 1"
+                        p.Property.name (Circuit.name c bad)))
+              | Sim3v.V0 ->
+                Some
+                  (finding ~pass:"prop-const" ~severity:Warning
+                     ~signals:[ bad ]
+                     (Printf.sprintf
+                        "property %S is vacuously true: bad signal %S is \
+                         stuck at 0"
+                        p.Property.name (Circuit.name c bad))))
+            props
+        end);
+  }
+
+let pass_prop_free_init =
+  {
+    name = "prop-free-init";
+    doc = "property cones depending on registers with a free initial value";
+    run =
+      (fun { circuit = c; props } ->
+        List.filter_map
+          (fun p ->
+            let coi = Coi.compute c ~roots:(Property.roots p) in
+            let free =
+              Bitset.fold
+                (fun r acc ->
+                  match Circuit.node c r with
+                  | Circuit.Reg { init = `Free; _ } -> r :: acc
+                  | _ -> acc)
+                coi.Coi.regs []
+              |> List.rev
+            in
+            match free with
+            | [] -> None
+            | free ->
+              Some
+                (finding ~pass:"prop-free-init" ~severity:Warning ~signals:free
+                   (Printf.sprintf
+                      "property %S cone contains %d register(s) with a free \
+                       initial value: %s"
+                      p.Property.name (List.length free) (name_list c free))))
+          props);
+  }
+
+let () =
+  List.iter register
+    [
+      pass_const_reg;
+      pass_self_loop_reg;
+      pass_dead_input;
+      pass_floating_gate;
+      pass_unreachable;
+      pass_duplicate_gate;
+      pass_prop_const;
+      pass_prop_free_init;
+    ]
+
+(* ---- driver ---------------------------------------------------------- *)
+
+let count sev r =
+  List.length (List.filter (fun f -> f.severity = sev) r.findings)
+
+let errors = count Error
+let warnings = count Warning
+let infos = count Info
+
+let c_passes_run = Telemetry.counter "lint.passes_run"
+let c_findings = Telemetry.counter "lint.findings"
+let c_errors = Telemetry.counter "lint.errors"
+let c_warnings = Telemetry.counter "lint.warnings"
+let c_info = Telemetry.counter "lint.info"
+
+let run ?only ?(props = []) circuit =
+  let all = passes () in
+  let selected =
+    match only with
+    | None -> all
+    | Some names ->
+      List.iter
+        (fun n ->
+          if not (List.exists (fun p -> p.name = n) all) then
+            invalid_arg (Printf.sprintf "Lint.run: unknown pass %S" n))
+        names;
+      List.filter (fun p -> List.mem p.name names) all
+  in
+  let ctx = { circuit; props } in
+  let findings = List.concat_map (fun p -> p.run ctx) selected in
+  let findings =
+    List.stable_sort
+      (fun a b ->
+        match compare (severity_rank a.severity) (severity_rank b.severity) with
+        | 0 -> compare a.pass b.pass
+        | c -> c)
+      findings
+  in
+  let report = { findings; passes_run = List.map (fun p -> p.name) selected } in
+  Telemetry.add c_passes_run (List.length selected);
+  Telemetry.add c_findings (List.length findings);
+  Telemetry.add c_errors (errors report);
+  Telemetry.add c_warnings (warnings report);
+  Telemetry.add c_info (infos report);
+  report
+
+(* ---- rendering ------------------------------------------------------- *)
+
+let pp_report ppf r =
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "%s: [%s] %s@."
+        (severity_to_string f.severity)
+        f.pass f.message)
+    r.findings;
+  Format.fprintf ppf "%d error(s), %d warning(s), %d info(s) from %d pass(es)@."
+    (errors r) (warnings r) (infos r)
+    (List.length r.passes_run)
+
+let report_to_json c r =
+  Json.Obj
+    [
+      ( "findings",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Obj
+                 [
+                   ("pass", Json.Str f.pass);
+                   ("severity", Json.Str (severity_to_string f.severity));
+                   ( "signals",
+                     Json.List
+                       (List.map
+                          (fun s -> Json.Str (Circuit.name c s))
+                          f.signals) );
+                   ("message", Json.Str f.message);
+                 ])
+             r.findings) );
+      ("errors", Json.Int (errors r));
+      ("warnings", Json.Int (warnings r));
+      ("infos", Json.Int (infos r));
+      ("passes_run", Json.List (List.map (fun p -> Json.Str p) r.passes_run));
+    ]

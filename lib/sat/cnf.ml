@@ -143,6 +143,13 @@ let lit_of t ~frame s =
          (Circuit.name t.view.Sview.circuit s));
   l
 
+let lit_of_opt t ~frame s =
+  if frame < 0 || frame >= t.nframes then None
+  else
+    let m = t.maps.(frame) in
+    if s < 0 || s >= Array.length m then None
+    else match m.(s) with l when l < 0 -> None | l -> Some l
+
 let assumptions_of_pins t pins =
   List.map
     (fun (frame, s, v) ->

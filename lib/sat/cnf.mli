@@ -33,6 +33,10 @@ val lit_of : t -> frame:int -> int -> Solver.lit
     [Invalid_argument] if the frame is not yet encoded or the signal is
     outside the view. *)
 
+val lit_of_opt : t -> frame:int -> int -> Solver.lit option
+(** Non-raising probe for {!lit_of}: [None] when the frame is not yet
+    encoded or the signal carries no literal there. *)
+
 val assumptions_of_pins : t -> (int * int * bool) list -> Solver.lit list
 (** Translate ATPG-style pins [(frame, signal, value)] into assumption
     literals. *)

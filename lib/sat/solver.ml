@@ -21,7 +21,7 @@ let var_of l = l lsr 1
 let sign_of l = l land 1 = 0
 
 type clause = {
-  mutable lits : int array;
+  lits : int array;
   mutable act : float;
   learnt : bool;
   mutable removed : bool;
@@ -329,6 +329,18 @@ let add_clause t lits =
         attach t c
     end
   end
+
+(* Every attached clause sits in exactly two watch lists,
+   [watches.(neg lits.(0))] and [watches.(neg lits.(1))]; emitting on
+   the first makes each clause appear once. *)
+let iter_clauses t f =
+  for p = 0 to Array.length t.watches - 1 do
+    let ws = t.watches.(p) in
+    for i = 0 to ws.Cvec.sz - 1 do
+      let c = ws.Cvec.data.(i) in
+      if (not c.removed) && neg c.lits.(0) = p then f c.lits
+    done
+  done
 
 (* ---- propagation ------------------------------------------------------ *)
 

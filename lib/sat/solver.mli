@@ -80,6 +80,13 @@ type stats = {
 val stats : t -> stats
 (** Lifetime totals for this instance. *)
 
+val iter_clauses : t -> (lit array -> unit) -> unit
+(** Iterate every clause currently attached to the instance — original
+    and live learned clauses — each exactly once. The array is the
+    solver's own storage: do not mutate or retain it. Top-level unit
+    clauses are not included (they live in the trail, not the clause
+    database). Exposed for the [RFN_CHECK] invariant checker. *)
+
 val learnt_clauses : t -> lit list list
 (** Every clause learned so far, oldest first — empty unless the solver
     was created with [~log_learnts:true]. *)

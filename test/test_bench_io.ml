@@ -47,6 +47,37 @@ let expect_failure name text =
         Alcotest.fail "expected parse failure"
       with Failure _ -> ())
 
+let expect_message name text fragments =
+  Alcotest.test_case name `Quick (fun () ->
+      try
+        ignore (Bench_io.parse text);
+        Alcotest.fail "expected parse failure"
+      with Failure msg ->
+        List.iter
+          (fun frag ->
+            let contains =
+              let fl = String.length frag and ml = String.length msg in
+              let rec at i =
+                i + fl <= ml && (String.sub msg i fl = frag || at (i + 1))
+              in
+              at 0
+            in
+            if not contains then
+              Alcotest.failf "message %S should mention %S" msg frag)
+          fragments)
+
+(* the error names every gate on the cycle, in read order, with the
+   line of the cycle's entry point *)
+let cycle_3_gates =
+  expect_message "3-gate cycle path"
+    "g1 = AND(g2, i)\ng2 = OR(g3, i)\ng3 = NOT(g1)\nINPUT(i)\nOUTPUT(g1)\n"
+    [ "line 1"; "combinational cycle: g1 -> g2 -> g3 -> g1" ]
+
+let undefined_signal_line =
+  expect_message "undefined signal cites referencing line"
+    "INPUT(a)\nf = NOT(a)\ng = NOT(zz)\nOUTPUT(g)\n"
+    [ "line 3"; "undefined signal \"zz\"" ]
+
 let test_roundtrip () =
   let c = Bench_io.parse sample in
   let printed = Bench_io.to_string c in
@@ -102,6 +133,8 @@ let tests =
     expect_failure "undefined signal" "f = NOT(nonexistent)\nOUTPUT(f)\n";
     expect_failure "redefinition" "INPUT(a)\nf = NOT(a)\nf = BUF(a)\n";
     expect_failure "combinational cycle" "f = NOT(g)\ng = NOT(f)\n";
+    cycle_3_gates;
+    undefined_signal_line;
     expect_failure "dff arity" "INPUT(a)\nr = DFF(a, a)\n";
     expect_failure "undefined output" "INPUT(a)\nOUTPUT(zz)\n";
     expect_failure "input redefined" "INPUT(a)\na = CONST0\n";

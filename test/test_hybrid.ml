@@ -2,7 +2,6 @@
    genuine traces of the abstract model ending in the target. *)
 
 open Rfn_circuit
-module Bdd = Rfn_bdd.Bdd
 module Varmap = Rfn_mc.Varmap
 module Symbolic = Rfn_mc.Symbolic
 module Image = Rfn_mc.Image

@@ -12,7 +12,6 @@
 
 open Rfn_circuit
 module Solver = Rfn_sat.Solver
-module Cnf = Rfn_sat.Cnf
 module Bmc = Rfn_core.Bmc
 module Sat_bmc = Rfn_core.Sat_bmc
 module Concretize = Rfn_core.Concretize
