@@ -9,6 +9,8 @@
      dune exec bench/main.exe table2 --budget 1800   # the paper's budget
      dune exec bench/main.exe -- --small      # scaled-down designs
      BENCH_QUICK=1 dune exec bench/main.exe   # CI smoke: JSON summary only
+     dune exec bench/main.exe -- check --baseline BENCH_baseline.json
+                                              # perf gate vs a committed baseline
 
    Every run (and the `json` target alone) also writes BENCH_rfn.json:
    a machine-readable per-design summary (seconds, iterations, peak BDD
@@ -17,7 +19,7 @@
    FIFO instance, exercising the emission path in seconds.
 
    Targets: table1 table2 figure1 guidance subsetting refine micro json
-   all *)
+   check all *)
 
 open Rfn_circuit
 module E = Rfn_experiments.Experiments
@@ -38,6 +40,14 @@ let float_arg name default =
   let rec scan i =
     if i + 1 >= Array.length Sys.argv then default
     else if Sys.argv.(i) = name then float_of_string Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
+
+let string_arg name default =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then default
+    else if Sys.argv.(i) = name then Sys.argv.(i + 1)
     else scan (i + 1)
   in
   scan 1
@@ -185,6 +195,7 @@ let bench_json ~quick () =
   in
   let g_nodes = Telemetry.gauge "bdd.live_nodes" in
   let c_backtracks = Telemetry.counter "atpg.backtracks" in
+  let h_image = Telemetry.histogram "mc.image_seconds" in
   let sat_counters =
     List.map
       (fun name -> (name, Telemetry.counter ("sat." ^ name)))
@@ -254,6 +265,19 @@ let bench_json ~quick () =
             ("peak_bdd_nodes", Json.Int (Telemetry.gauge_peak g_nodes));
             ( "atpg_backtracks",
               Json.Int (Telemetry.counter_value c_backtracks) );
+            ("provenance", Json.Int (List.length stats.Rfn.provenance));
+            ( "hist",
+              Json.Obj
+                [
+                  ( "image_steps",
+                    Json.Int (Telemetry.histogram_count h_image) );
+                  ( "image_step_p50",
+                    Json.Float (Telemetry.histogram_quantile h_image 0.5) );
+                  ( "image_step_p90",
+                    Json.Float (Telemetry.histogram_quantile h_image 0.9) );
+                  ( "image_step_max",
+                    Json.Float (Telemetry.histogram_max h_image) );
+                ] );
             ( "sat",
               Json.Obj
                 (("bmc_cross_check", Json.Bool sat_agrees)
@@ -311,6 +335,105 @@ let bench_json ~quick () =
   close_out oc;
   Format.printf "wrote BENCH_rfn.json@."
 
+(* ---- perf gate (bench check) ---------------------------------------- *)
+
+(* Compare the current BENCH_rfn.json against a committed baseline with
+   per-metric tolerance bands, and exit non-zero on any regression. The
+   bands are deliberately generous — they catch order-of-magnitude
+   slips (a broken cache, a lost reuse path, an accidental O(n^2)), not
+   CI-runner jitter:
+
+     result            must match exactly
+     iterations        <= baseline * 1.5 + 2
+     peak_bdd_nodes    <= max(baseline * 3,  20_000)
+     atpg_backtracks   <= max(baseline * 5,  10_000)
+     seconds           <= max(baseline * 25, 2.0)
+
+   plus an internal-consistency check that every iteration produced a
+   provenance record. Regenerates a quick BENCH_rfn.json when none is
+   present, so `bench check --baseline BENCH_baseline.json` works as a
+   single command. *)
+let perf_check ~baseline_file () =
+  section (Printf.sprintf "Perf gate (vs %s)" baseline_file);
+  let load file =
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Json.of_string (really_input_string ic (in_channel_length ic)))
+  in
+  if not (Sys.file_exists "BENCH_rfn.json") then bench_json ~quick:true ();
+  match (load baseline_file, load "BENCH_rfn.json") with
+  | exception Sys_error msg ->
+    Format.eprintf "bench check: %s@." msg;
+    exit 1
+  | exception Failure msg ->
+    Format.eprintf "bench check: malformed JSON: %s@." msg;
+    exit 1
+  | base, cur ->
+    let designs j =
+      match Json.member "designs" j with
+      | Some (Json.List l) ->
+        List.filter_map
+          (fun r ->
+            match Json.member "name" r with
+            | Some (Json.Str n) -> Some (n, r)
+            | _ -> None)
+          l
+      | _ ->
+        Format.eprintf "bench check: no designs array@.";
+        exit 1
+    in
+    let str k r = Option.bind (Json.member k r) Json.to_str in
+    let num k r = Option.bind (Json.member k r) Json.to_float in
+    let violations = ref [] in
+    let fail fmt =
+      Printf.ksprintf (fun m -> violations := m :: !violations) fmt
+    in
+    let band ~name ~metric ~ratio ~floor b c =
+      match (num metric b, num metric c) with
+      | Some bv, Some cv ->
+        let allowed = Float.max (ratio *. bv) floor in
+        if cv > allowed then
+          fail "%s: %s %.6g exceeds allowed %.6g (baseline %.6g)" name metric
+            cv allowed bv
+      | None, _ -> fail "%s: baseline lacks %s" name metric
+      | _, None -> fail "%s: current run lacks %s" name metric
+    in
+    let current = designs cur in
+    let baseline = designs base in
+    List.iter
+      (fun (name, b) ->
+        match List.assoc_opt name current with
+        | None -> fail "%s: missing from current BENCH_rfn.json" name
+        | Some c ->
+          (match (str "result" b, str "result" c) with
+          | Some rb, Some rc when rb <> rc ->
+            fail "%s: result %S differs from baseline %S" name rc rb
+          | Some _, Some _ -> ()
+          | _ -> fail "%s: missing result field" name);
+          (match (num "iterations" b, num "iterations" c) with
+          | Some bi, Some ci ->
+            if ci > (bi *. 1.5) +. 2.0 then
+              fail "%s: iterations %g exceeds baseline %g (band 1.5x + 2)"
+                name ci bi
+          | _ -> fail "%s: missing iterations field" name);
+          band ~name ~metric:"peak_bdd_nodes" ~ratio:3.0 ~floor:20_000.0 b c;
+          band ~name ~metric:"atpg_backtracks" ~ratio:5.0 ~floor:10_000.0 b c;
+          band ~name ~metric:"seconds" ~ratio:25.0 ~floor:2.0 b c;
+          match (num "provenance" c, num "iterations" c) with
+          | Some p, Some i when p < i ->
+            fail "%s: %g provenance record(s) for %g iteration(s)" name p i
+          | None, _ -> fail "%s: current run lacks provenance count" name
+          | _ -> ())
+      baseline;
+    (match List.rev !violations with
+    | [] ->
+      Format.printf "perf gate: OK — %d design(s) within tolerance@."
+        (List.length baseline)
+    | vs ->
+      List.iter (fun v -> Format.printf "perf gate: FAIL — %s@." v) vs;
+      exit 1)
+
 (* ---- drivers -------------------------------------------------------- *)
 
 let () =
@@ -330,7 +453,9 @@ let () =
   let want t = explicit = [] || List.mem t explicit || List.mem "all" explicit in
   (* a full harness run includes the paper's COI-MC baseline footnote *)
   let baseline = baseline || explicit = [] || List.mem "all" explicit in
-  if quick then bench_json ~quick:true ()
+  if has "check" then
+    perf_check ~baseline_file:(string_arg "--baseline" "BENCH_baseline.json") ()
+  else if quick then bench_json ~quick:true ()
   else begin
   if want "table1" then begin
     section "Table 1 (property verification)";

@@ -48,7 +48,8 @@ let engines_arg =
            fallback rung).")
 
 (* Shared telemetry flags: --metrics-out streams JSONL events,
-   --profile prints a wall-time/counter report when the run ends. *)
+   --trace-out writes a Chrome trace-event file, --profile prints a
+   wall-time/counter report when the run ends. *)
 
 let metrics_out_arg =
   Cmdliner.Arg.(
@@ -59,6 +60,16 @@ let metrics_out_arg =
           "Stream telemetry events (CEGAR-phase spans, engine metrics) to \
            $(docv) as JSON Lines.")
 
+let trace_out_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event file to $(docv): one complete event \
+           per CEGAR-phase span plus instant and counter events. Load it in \
+           Perfetto (ui.perfetto.dev) or chrome://tracing.")
+
 let profile_arg =
   Cmdliner.Arg.(
     value
@@ -68,20 +79,29 @@ let profile_arg =
           "Record telemetry and print an end-of-run report: per-phase wall \
            time, engine counters, BDD cache hit rate.")
 
-let setup_telemetry ~metrics_out ~profile =
+let setup_telemetry ?(trace_out = None) ~metrics_out ~profile () =
   match
-    match metrics_out with
+    (match metrics_out with
     | Some file -> Telemetry.attach_jsonl file
+    | None -> ());
+    match trace_out with
+    | Some file -> Telemetry.attach_trace file
     | None -> ()
   with
   | () ->
     if profile then Telemetry.enable ();
     Ok ()
-  | exception Sys_error msg -> Error ("cannot open metrics file: " ^ msg)
+  | exception Sys_error msg -> Error ("cannot open telemetry sink: " ^ msg)
 
 let teardown_telemetry ~profile =
   if profile then Format.printf "%a" Telemetry.pp_report ();
   Telemetry.detach ()
+
+(* Run [f] with the teardown guaranteed, so --metrics-out / --trace-out
+   files are flushed and well-formed even when the engine aborts by
+   exception. *)
+let with_telemetry ~profile f =
+  Fun.protect ~finally:(fun () -> teardown_telemetry ~profile) f
 
 (* --lint pre-flight shared by verify and bmc: refuse to start an
    engine on a design the linter rejects. *)
@@ -142,7 +162,7 @@ let verify_cmd =
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
   let run netlist prop seconds nodes iters engines trace_out baseline
-      inject_faults lint metrics_out profile verbose =
+      inject_faults lint metrics_out chrome_trace profile verbose =
     setup_logs verbose;
     match load netlist with
     | Error msg ->
@@ -173,11 +193,14 @@ let verify_cmd =
           Format.eprintf "error: %s@." msg;
           1
         | Ok inject -> (
-        match setup_telemetry ~metrics_out ~profile with
+        match
+          setup_telemetry ~trace_out:chrome_trace ~metrics_out ~profile ()
+        with
         | Error msg ->
           Format.eprintf "error: %s@." msg;
           1
-        | Ok () -> (
+        | Ok () ->
+        with_telemetry ~profile @@ fun () ->
         let config =
           config_of ~max_seconds:seconds ~node_limit:nodes
             ~max_iterations:iters ~engines ~inject
@@ -200,7 +223,6 @@ let verify_cmd =
             | `Aborted r -> "fails — " ^ Rfn_failure.resource_to_string r)
             secs
         end;
-        teardown_telemetry ~profile;
         match outcome with
         | Rfn.Proved ->
           Format.printf "RESULT: True (bad states unreachable)@.";
@@ -222,7 +244,7 @@ let verify_cmd =
         | Rfn.Aborted why ->
           Format.printf "RESULT: inconclusive (%s)@."
             (Rfn_failure.to_string why);
-          3))))
+          3)))
   in
   Cmd.v
     (Cmd.info "verify"
@@ -230,7 +252,7 @@ let verify_cmd =
     Term.(
       const run $ netlist $ prop $ seconds $ nodes $ iters $ engines_arg
       $ trace_out $ baseline $ inject_faults $ lint_arg $ metrics_out_arg
-      $ profile_arg $ verbose)
+      $ trace_out_arg $ profile_arg $ verbose)
 
 (* ---- rfn coverage --------------------------------------------------- *)
 
@@ -260,11 +282,12 @@ let coverage_cmd =
         Format.eprintf "error: unknown coverage signal@.";
         1
       | coverage -> (
-        match setup_telemetry ~metrics_out ~profile with
+        match setup_telemetry ~metrics_out ~profile () with
         | Error msg ->
           Format.eprintf "error: %s@." msg;
           1
         | Ok () ->
+        with_telemetry ~profile @@ fun () ->
         let report =
           if bfs then
             Coverage.bfs_analysis ~k:bfs_k ~max_seconds:budget circuit
@@ -285,7 +308,6 @@ let coverage_cmd =
           report.Coverage.total report.Coverage.unreachable
           report.Coverage.reachable report.Coverage.unknown
           report.Coverage.seconds report.Coverage.abstract_regs;
-        teardown_telemetry ~profile;
         0))
   in
   Cmd.v
@@ -425,11 +447,12 @@ let lint_cmd =
           (String.concat ", " names);
         1
       | props -> (
-        match setup_telemetry ~metrics_out ~profile with
+        match setup_telemetry ~metrics_out ~profile () with
         | Error msg ->
           Format.eprintf "error: %s@." msg;
           1
         | Ok () -> (
+          with_telemetry ~profile @@ fun () ->
           let only = Option.map (String.split_on_char ',') only in
           match Lint.run ?only ~props circuit with
           | exception Invalid_argument msg ->
@@ -440,7 +463,6 @@ let lint_cmd =
               print_endline
                 (Rfn_obs.Json.to_string (Lint.report_to_json circuit report))
             else Format.printf "%a" Lint.pp_report report;
-            teardown_telemetry ~profile;
             if Lint.errors report > 0 then 1 else 0)))
   in
   Cmd.v
@@ -488,6 +510,80 @@ let simplify_cmd =
           sweeping; writes the simplified netlist.")
     Term.(const run $ netlist $ out)
 
+(* ---- rfn explain ---------------------------------------------------- *)
+
+let explain_cmd =
+  let metrics =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"METRICS"
+          ~doc:
+            "JSON Lines telemetry file written by a $(b,verify \
+             --metrics-out) run.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the provenance records as a JSON array instead of prose.")
+  in
+  let run metrics json =
+    let module Json = Rfn_obs.Json in
+    let module Provenance = Rfn_obs.Provenance in
+    match
+      let ic = open_in metrics in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let records = ref [] in
+          let lineno = ref 0 in
+          (try
+             while true do
+               incr lineno;
+               let line = input_line ic in
+               if String.trim line <> "" then
+                 match Json.of_string line with
+                 | exception Failure msg ->
+                   Format.eprintf "warning: %s:%d: %s@." metrics !lineno msg
+                 | j -> (
+                   match Json.member "ev" j with
+                   | Some (Json.Str "rfn.iteration") -> (
+                     match Provenance.of_json j with
+                     | Ok p -> records := p :: !records
+                     | Error field ->
+                       Format.eprintf
+                         "warning: %s:%d: bad rfn.iteration record (%s)@."
+                         metrics !lineno field)
+                   | _ -> ())
+             done
+           with End_of_file -> ());
+          List.rev !records)
+    with
+    | exception Sys_error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | [] ->
+      Format.eprintf
+        "error: no rfn.iteration records in %s (was the run made with \
+         --metrics-out?)@."
+        metrics;
+      1
+    | records ->
+      if json then
+        print_endline
+          (Json.to_string (Json.List (List.map Provenance.to_json records)))
+      else Format.printf "%a" Provenance.pp_story records;
+      0
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Replay the refinement story of a previous run from its \
+          --metrics-out file: per-iteration engine choices, abstraction \
+          growth, concretization outcomes and resource use.")
+    Term.(const run $ metrics $ json)
+
 (* ---- rfn stats ------------------------------------------------------ *)
 
 let stats_cmd =
@@ -526,4 +622,12 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "rfn" ~version:"1.0.0" ~doc)
-          [ verify_cmd; coverage_cmd; bmc_cmd; lint_cmd; simplify_cmd; stats_cmd ]))
+          [
+            verify_cmd;
+            coverage_cmd;
+            bmc_cmd;
+            lint_cmd;
+            simplify_cmd;
+            explain_cmd;
+            stats_cmd;
+          ]))

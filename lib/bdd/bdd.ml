@@ -9,6 +9,7 @@ module Telemetry = Rfn_obs.Telemetry
 let c_alloc = Telemetry.counter "bdd.nodes_allocated"
 let c_hit = Telemetry.counter "bdd.cache_hits"
 let c_miss = Telemetry.counter "bdd.cache_misses"
+let c_gc = Telemetry.counter "bdd.gc_runs"
 let g_nodes = Telemetry.gauge "bdd.live_nodes"
 
 type man = {
@@ -462,6 +463,7 @@ let unprotect m f =
     | Some n -> Hashtbl.replace m.protected f (n - 1)
 
 let gc m ~roots =
+  Telemetry.incr c_gc;
   let marked = Bytes.make m.n '\000' in
   Bytes.set marked 0 '\001';
   Bytes.set marked 1 '\001';

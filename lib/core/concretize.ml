@@ -5,6 +5,7 @@ module Telemetry = Rfn_obs.Telemetry
 
 let c_attempts = Telemetry.counter "concretize.attempts"
 let c_found = Telemetry.counter "concretize.found"
+let h_backtracks = Telemetry.histogram "concretize.backtracks"
 
 type outcome =
   | Found of Trace.t
@@ -31,7 +32,10 @@ let run ~limits circuit ~bad ~frames ~pins =
     (fun () ->
       let view = Sview.whole circuit ~roots:[ bad ] in
       let pins = (frames - 1, bad, true) :: pins in
-      match Atpg.solve ~limits view ~frames ~pins () with
+      let solved = Atpg.solve ~limits view ~frames ~pins () in
+      Telemetry.observe h_backtracks
+        (float_of_int (snd solved).Atpg.backtracks);
+      match solved with
       | Atpg.Sat t, stats ->
         if Sim3v.replay_concrete circuit t ~bad then begin
           Telemetry.incr c_found;

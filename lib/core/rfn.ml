@@ -12,6 +12,16 @@ let src = Logs.Src.create "rfn" ~doc:"RFN abstraction refinement"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Handles to counters owned by the engines: the loop snapshots them at
+   the top of each iteration and attributes the deltas to that
+   iteration's provenance record. *)
+let c_sup_retries = Telemetry.counter "supervisor.retries"
+let c_sup_fallbacks = Telemetry.counter "supervisor.fallbacks"
+let c_sup_injected = Telemetry.counter "supervisor.injected_faults"
+let c_sat_learned = Telemetry.counter "sat.learned"
+let c_atpg_backtracks = Telemetry.counter "atpg.backtracks"
+let g_bdd_nodes = Telemetry.gauge "bdd.live_nodes"
+
 type engines = Atpg_only | Sat_only | Portfolio
 
 let engines_to_string = function
@@ -85,6 +95,7 @@ type iteration = {
 
 type stats = {
   iterations : iteration list;
+  provenance : Rfn_obs.Provenance.t list;
   coi_regs : int;
   coi_gates : int;
   final_abstract_regs : int;
@@ -107,11 +118,13 @@ let verify ?(config = default_config) circuit prop =
       circuit ~roots:(Property.roots prop)
   in
   let iterations = ref [] in
+  let provenance = ref [] in
   let last_trace = ref None in
   let finish abstraction outcome =
     ( outcome,
       {
         iterations = List.rev !iterations;
+        provenance = List.rev !provenance;
         coi_regs = Coi.num_regs coi;
         coi_gates = Coi.num_gates coi;
         final_abstract_regs = Abstraction.num_regs abstraction;
@@ -146,8 +159,18 @@ let verify ?(config = default_config) circuit prop =
       let view = abstraction.Abstraction.view in
       Log.info (fun m ->
           m "iteration %d: abstract model %a" iter Sview.pp_stats view);
+      (* Counter snapshots: everything the engines bump during this
+         iteration is attributed to it by delta. *)
+      let iter_started = Telemetry.now () in
+      let retries0 = Telemetry.counter_value c_sup_retries in
+      let fallbacks0 = Telemetry.counter_value c_sup_fallbacks in
+      let injected0 = Telemetry.counter_value c_sup_injected in
+      let learned0 = Telemetry.counter_value c_sat_learned in
+      let backtracks0 = Telemetry.counter_value c_atpg_backtracks in
       let record ?cut_size ?(no_cut = 0) ?(min_cut = 0) ?trace_length
-          ?(candidates = 0) ?(added = 0) steps =
+          ?(candidates = 0) ?(added = 0) ?(cubes = 0) ?(guidance = 0)
+          ?(engine = "") ?(concretize = "none") ?(promoted = []) ?regs_after
+          ~outcome steps =
         iterations :=
           {
             abstract_regs = Abstraction.num_regs abstraction;
@@ -160,7 +183,38 @@ let verify ?(config = default_config) circuit prop =
             candidates;
             added;
           }
-          :: !iterations
+          :: !iterations;
+        let regs_before = Abstraction.num_regs abstraction in
+        let p =
+          {
+            Rfn_obs.Provenance.iter;
+            regs_before;
+            regs_after =
+              (match regs_after with Some n -> n | None -> regs_before);
+            model_inputs = Sview.num_free_inputs view;
+            fixpoint_steps = steps;
+            trace_depth = trace_length;
+            cut_size;
+            cubes;
+            guidance;
+            engine;
+            concretize;
+            promoted;
+            candidates;
+            retries = Telemetry.counter_value c_sup_retries - retries0;
+            fallbacks = Telemetry.counter_value c_sup_fallbacks - fallbacks0;
+            injected = Telemetry.counter_value c_sup_injected - injected0;
+            bdd_nodes = Telemetry.gauge_value g_bdd_nodes;
+            bdd_peak = Telemetry.gauge_peak g_bdd_nodes;
+            sat_learned = Telemetry.counter_value c_sat_learned - learned0;
+            backtracks =
+              Telemetry.counter_value c_atpg_backtracks - backtracks0;
+            seconds = Telemetry.now () -. iter_started;
+            outcome;
+          }
+        in
+        provenance := p :: !provenance;
+        Telemetry.event "rfn.iteration" (Rfn_obs.Provenance.to_fields p)
       in
       let attrs =
         [
@@ -216,9 +270,11 @@ let verify ?(config = default_config) circuit prop =
                       Session.prepare session) );
               ])
       in
+      Rfn_obs.Sampler.tick "rfn.abstract_mc";
       match mc with
       | Error failure ->
-        record 0;
+        record ~outcome:("aborted:" ^ F.resource_to_string failure.F.resource)
+          0;
         finish abstraction (Aborted failure)
       | Ok (vm, fn, res) -> (
         check ~iter ~engine:F.Bdd_mc ~phase:F.Abstract_mc
@@ -228,14 +284,14 @@ let verify ?(config = default_config) circuit prop =
                 ~signals:(Session.cone_signals session));
         match res.Reach.outcome with
         | Reach.Proved ->
-          record res.Reach.steps;
+          record ~outcome:"proved" res.Reach.steps;
           Log.info (fun m -> m "property proved on the abstract model");
           finish abstraction Proved
         | Reach.Closed _ ->
           (* not produced when stop_at_bad is true (the default); an
              engine invariant slip degrades into a reported abort
              rather than a crash *)
-          record res.Reach.steps;
+          record ~outcome:"aborted:invariant" res.Reach.steps;
           finish abstraction
             (Aborted
                (F.make ~iteration:iter ~engine:F.Bdd_mc ~phase:F.Abstract_mc
@@ -245,7 +301,8 @@ let verify ?(config = default_config) circuit prop =
         | Reach.Aborted r ->
           (* terminal resource (time or step bound) — the ladder does
              not retry those *)
-          record res.Reach.steps;
+          record ~outcome:("aborted:" ^ F.resource_to_string r)
+            res.Reach.steps;
           finish abstraction
             (Aborted
                (F.make ~iteration:iter ~engine:F.Bdd_mc ~phase:F.Abstract_mc r))
@@ -283,9 +340,12 @@ let verify ?(config = default_config) circuit prop =
                       hybrid_attempt ~use_mincut:false );
                   ])
           in
+          Rfn_obs.Sampler.tick "rfn.hybrid";
           match extraction with
           | Error failure ->
-            record res.Reach.steps;
+            record
+              ~outcome:("aborted:" ^ F.resource_to_string failure.F.resource)
+              res.Reach.steps;
             finish abstraction (Aborted failure)
           | Ok (hybrid :: _ as hybrids) -> (
             check ~iter ~engine:F.Hybrid ~phase:F.Trace_extraction
@@ -307,11 +367,20 @@ let verify ?(config = default_config) circuit prop =
                   (List.length hybrids)
                   (Trace.length abstract_trace)
                   hybrid.Hybrid.cut_size hybrid.Hybrid.model_inputs);
-            let record_hybrid ?(candidates = 0) ?(added = 0) () =
+            let record_hybrid ?(candidates = 0) ?(added = 0) ?(promoted = [])
+                ?regs_after ~concretize ~outcome () =
               record ~cut_size:hybrid.Hybrid.cut_size
                 ~no_cut:hybrid.Hybrid.no_cut_steps
                 ~min_cut:hybrid.Hybrid.min_cut_steps
-                ~trace_length:(Trace.length abstract_trace) ~candidates ~added
+                ~trace_length:(Trace.length abstract_trace)
+                ~cubes:
+                  (2
+                  * List.fold_left
+                      (fun acc h -> acc + Trace.length h.Hybrid.trace)
+                      0 hybrids)
+                ~guidance:(List.length hybrids)
+                ~engine:(engines_to_string config.engines)
+                ~concretize ~candidates ~added ~promoted ?regs_after ~outcome
                 res.Reach.steps
             in
             (* Step 3: search on the original design. A failure here is
@@ -367,6 +436,13 @@ let verify ?(config = default_config) circuit prop =
                   | Error failure ->
                     Concretize.Gave_up failure.F.resource)
             in
+            Rfn_obs.Sampler.tick "rfn.concretize";
+            let concretize_desc =
+              match concrete with
+              | Concretize.Found _ -> "found"
+              | Concretize.Not_found_here -> "not-found"
+              | Concretize.Gave_up r -> "gave-up:" ^ F.resource_to_string r
+            in
             let check_concrete_trace ~engine t =
               check ~iter ~engine ~phase:F.Concretization
                 ~what:"concrete counterexample" (fun () ->
@@ -377,7 +453,8 @@ let verify ?(config = default_config) circuit prop =
             match concrete with
             | Concretize.Found t ->
               check_concrete_trace ~engine:concretize_engine t;
-              record_hybrid ();
+              record_hybrid ~concretize:concretize_desc ~outcome:"falsified"
+                ();
               Log.info (fun m -> m "concrete counterexample found");
               finish abstraction (Falsified t)
             | Concretize.Not_found_here | Concretize.Gave_up _ -> (
@@ -459,9 +536,9 @@ let verify ?(config = default_config) circuit prop =
                       ~engine:F.Seq_atpg ~phase:F.Refinement ~iteration:iter
                       refine_rungs)
               in
+              Rfn_obs.Sampler.tick "rfn.refine";
               match refinement with
               | Ok (`Add (regs, candidates)) ->
-                record_hybrid ~candidates ~added:(List.length regs) ();
                 Log.info (fun m ->
                     m "refining with %d register(s) (%d candidates)"
                       (List.length regs) candidates);
@@ -471,6 +548,11 @@ let verify ?(config = default_config) circuit prop =
                       (List.length delta.Abstraction.promoted)
                       (List.length delta.Abstraction.fresh_regs)
                       delta.Abstraction.new_signals);
+                record_hybrid ~candidates ~added:(List.length regs)
+                  ~promoted:(List.map (Circuit.name circuit) regs)
+                  ~regs_after:
+                    (Abstraction.num_regs (Session.abstraction session))
+                  ~concretize:concretize_desc ~outcome:"refined" ();
                 check ~iter ~engine:F.Cegar ~phase:F.Refinement
                   ~what:"post-refine varmap" (fun () ->
                     match Session.varmap session with
@@ -479,16 +561,20 @@ let verify ?(config = default_config) circuit prop =
                 iterate (iter + 1)
               | Ok (`Cex t) ->
                 check_concrete_trace ~engine:F.Seq_atpg t;
-                record_hybrid ();
+                record_hybrid ~concretize:concretize_desc
+                  ~outcome:"falsified" ();
                 Log.info (fun m ->
                     m "BMC re-check found a concrete counterexample");
                 finish abstraction (Falsified t)
               | Error failure ->
-                record_hybrid ();
+                record_hybrid ~concretize:concretize_desc
+                  ~outcome:
+                    ("aborted:" ^ F.resource_to_string failure.F.resource)
+                  ();
                 finish abstraction (Aborted failure)))
           | Ok [] ->
             (* unreachable: the ladder maps [] to an Error *)
-            record res.Reach.steps;
+            record ~outcome:"aborted:invariant" res.Reach.steps;
             finish abstraction
               (Aborted
                  (F.make ~iteration:iter ~engine:F.Hybrid

@@ -102,6 +102,10 @@ type iteration = {
 
 type stats = {
   iterations : iteration list;  (** chronological *)
+  provenance : Rfn_obs.Provenance.t list;
+      (** chronological; one record per iteration with engine choices,
+          refinement deltas and resource gauges — the same records the
+          loop emits as ["rfn.iteration"] telemetry events *)
   coi_regs : int;
   coi_gates : int;
   final_abstract_regs : int;

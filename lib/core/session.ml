@@ -84,6 +84,9 @@ let forget_manager t =
 
 let reset ?(fresh_order = false) ?node_limit t =
   Telemetry.incr c_resets;
+  (* a reset is a resource cliff (the manager is dropped wholesale) —
+     snapshot memory and engine gauges on both sides of it *)
+  Rfn_obs.Sampler.tick "session.reset";
   (match node_limit with Some l -> t.node_limit <- l | None -> ());
   t.seed <- (if fresh_order then None else t.vm);
   forget_manager t

@@ -3,6 +3,7 @@ module Bdd = Rfn_bdd.Bdd
 module Telemetry = Rfn_obs.Telemetry
 
 let c_post = Telemetry.counter "mc.post_images"
+let h_step = Telemetry.histogram "mc.image_seconds"
 
 type t = {
   vm : Varmap.t;
@@ -128,6 +129,7 @@ let num_clusters (t : t) = Array.length t.clusters
 
 let post t q =
   Telemetry.incr c_post;
+  Telemetry.time_hist h_step @@ fun () ->
   Telemetry.with_span "mc.image" (fun () ->
       let man = Varmap.man t.vm in
       let r = ref (Bdd.exists man t.schedule.(0) q) in

@@ -12,13 +12,23 @@ type timer = {
   mutable max_dur : float;
 }
 
+type hist = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
 (* Registration order is kept so reports are stable. *)
 type registry = {
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   timers : (string, timer) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
   spans : (string, timer) Hashtbl.t;
-  mutable order : [ `C of counter | `G of gauge | `T of timer ] list;
+  mutable order :
+    [ `C of counter | `G of gauge | `T of timer | `H of hist ] list;
 }
 
 let reg =
@@ -26,6 +36,7 @@ let reg =
     counters = Hashtbl.create 64;
     gauges = Hashtbl.create 16;
     timers = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
     spans = Hashtbl.create 16;
     order = [];
   }
@@ -75,7 +86,7 @@ let timer name =
     reg.order <- `T t :: reg.order;
     t
 
-let observe t dur =
+let timer_observe t dur =
   t.calls <- t.calls + 1;
   t.total <- t.total +. dur;
   if dur > t.max_dur then t.max_dur <- dur
@@ -86,15 +97,104 @@ let time t f =
     let t0 = now () in
     match f () with
     | v ->
-      observe t (now () -. t0);
+      timer_observe t (now () -. t0);
       v
     | exception e ->
-      observe t (now () -. t0);
+      timer_observe t (now () -. t0);
       raise e
   end
 
 let timer_calls t = t.calls
 let timer_total t = t.total
+
+(* ---- histograms ------------------------------------------------------- *)
+
+(* Log-bucketed: bucket 0 holds values <= hist_base, bucket i > 0 holds
+   (hist_base * 2^(i-1), hist_base * 2^i]. With base 1 ns and 96
+   buckets the range covers sub-microsecond image steps and
+   hundred-billion-count resources alike. *)
+let hist_base = 1e-9
+let hist_nbuckets = 96
+
+type histogram = hist
+
+let histogram name =
+  match Hashtbl.find_opt reg.hists name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_name = name;
+        h_count = 0;
+        h_sum = 0.0;
+        h_max = 0.0;
+        h_buckets = Array.make hist_nbuckets 0;
+      }
+    in
+    Hashtbl.add reg.hists name h;
+    reg.order <- `H h :: reg.order;
+    h
+
+let bucket_index v =
+  if v <= hist_base then 0
+  else
+    let i = int_of_float (Float.ceil (Float.log2 (v /. hist_base))) in
+    if i < 1 then 1 else if i >= hist_nbuckets then hist_nbuckets - 1 else i
+
+let bucket_upper i = hist_base *. Float.pow 2.0 (float_of_int i)
+
+let observe h v =
+  (* non-finite and negative observations are dropped: a histogram of
+     durations or resource counts has no meaningful place for them *)
+  if Float.is_finite v && v >= 0.0 then begin
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v > h.h_max then h.h_max <- v;
+    let i = bucket_index v in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1
+  end
+
+let time_hist h f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = now () in
+    match f () with
+    | v ->
+      observe h (now () -. t0);
+      v
+    | exception e ->
+      observe h (now () -. t0);
+      raise e
+  end
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+let histogram_max h = h.h_max
+
+let histogram_quantile h q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int h.h_count)) in
+      if r < 1 then 1 else if r > h.h_count then h.h_count else r
+    in
+    let est = ref h.h_max in
+    let cum = ref 0 in
+    (try
+       for i = 0 to hist_nbuckets - 1 do
+         cum := !cum + h.h_buckets.(i);
+         if !cum >= rank then begin
+           est := bucket_upper i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Float.min !est h.h_max
+  end
+
+(* forward reference: [reset] also rewinds the span-depth tracker,
+   which is declared with the span machinery below *)
+let span_depth = ref 0
 
 let reset () =
   Hashtbl.iter (fun _ c -> c.count <- 0) reg.counters;
@@ -109,13 +209,26 @@ let reset () =
       t.total <- 0.0;
       t.max_dur <- 0.0)
     reg.timers;
-  Hashtbl.reset reg.spans
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      h.h_max <- 0.0;
+      Array.fill h.h_buckets 0 hist_nbuckets 0)
+    reg.hists;
+  Hashtbl.reset reg.spans;
+  (* reset assumes no spans are open (it is called between runs) *)
+  span_depth := 0
 
-(* ---- sink ------------------------------------------------------------ *)
+(* ---- sinks ----------------------------------------------------------- *)
 
 type sink = { oc : out_channel; epoch : float }
 
 let sink : sink option ref = ref None
+
+(* The Chrome trace sink mirrors the span/event stream into the
+   trace-event format, with its own epoch. *)
+let trace : (Chrome_trace.t * float) option ref = ref None
 
 let emit_line fields =
   match !sink with
@@ -124,7 +237,19 @@ let emit_line fields =
     Json.to_channel s.oc (Json.Obj fields);
     output_char s.oc '\n'
 
-let event name fields = emit_line (("ev", Json.Str name) :: fields)
+let event name fields =
+  emit_line (("ev", Json.Str name) :: fields);
+  match !trace with
+  | None -> ()
+  | Some (w, epoch) ->
+    Chrome_trace.instant w ~name ~ts:(now () -. epoch) ~args:fields ()
+
+let trace_counter name series =
+  match !trace with
+  | None -> ()
+  | Some (w, epoch) -> Chrome_trace.counter w ~name ~ts:(now () -. epoch) series
+
+let trace_attached () = !trace <> None
 
 let metric_snapshot_events () =
   let evs = ref [] in
@@ -147,7 +272,24 @@ let metric_snapshot_events () =
           evs :=
             [ ("ev", Json.Str "timer"); ("name", Json.Str t.t_name);
               ("calls", Json.Int t.calls); ("seconds", Json.Float t.total) ]
-            :: !evs)
+            :: !evs
+      | `H h ->
+        if h.h_count <> 0 then begin
+          let buckets = ref [] in
+          for i = hist_nbuckets - 1 downto 0 do
+            if h.h_buckets.(i) <> 0 then
+              buckets :=
+                Json.List [ Json.Int i; Json.Int h.h_buckets.(i) ] :: !buckets
+          done;
+          evs :=
+            [ ("ev", Json.Str "histogram"); ("name", Json.Str h.h_name);
+              ("count", Json.Int h.h_count); ("sum", Json.Float h.h_sum);
+              ("max", Json.Float h.h_max);
+              ("p50", Json.Float (histogram_quantile h 0.5));
+              ("p90", Json.Float (histogram_quantile h 0.9));
+              ("buckets", Json.List !buckets) ]
+            :: !evs
+        end)
     reg.order;
   Hashtbl.fold
     (fun _ t acc ->
@@ -157,7 +299,7 @@ let metric_snapshot_events () =
     reg.spans !evs
   |> List.rev
 
-let detach () =
+let close_jsonl () =
   match !sink with
   | None -> ()
   | Some s ->
@@ -165,14 +307,45 @@ let detach () =
     close_out s.oc;
     sink := None
 
+let close_trace () =
+  match !trace with
+  | None -> ()
+  | Some (w, _) ->
+    Chrome_trace.close w;
+    trace := None
+
+let detach () =
+  close_jsonl ();
+  close_trace ()
+
+(* A process-exit backstop so --metrics-out / --trace-out files are
+   complete (snapshot flushed, trace array terminated) even when the
+   run dies on an uncaught exception or a structured abort path that
+   skips the normal teardown. Both sinks close idempotently. *)
+let exit_hook = ref false
+
+let register_exit_hook () =
+  if not !exit_hook then begin
+    exit_hook := true;
+    at_exit detach
+  end
+
 let attach_jsonl file =
-  detach ();
+  close_jsonl ();
   sink := Some { oc = open_out file; epoch = now () };
+  register_exit_hook ();
+  enable ()
+
+let attach_trace file =
+  close_trace ();
+  trace := Some (Chrome_trace.create file, now ());
+  register_exit_hook ();
   enable ()
 
 (* ---- spans ----------------------------------------------------------- *)
 
-let span_depth = ref 0
+(* span_depth is declared next to [reset] above *)
+let current_depth () = !span_depth
 
 let span_agg name =
   match Hashtbl.find_opt reg.spans name with
@@ -187,23 +360,39 @@ let span_stats name =
   | Some t when t.calls > 0 -> Some (t.calls, t.total)
   | _ -> None
 
+(* The depth decrement is the finaliser: even if a sink write raises
+   (disk full, closed channel), the span stack stays balanced — the
+   supervisor's retry ladders rely on every rung leaving the depth
+   where it found it. *)
 let close_span ?(error = false) name attrs t0 =
-  let dur = now () -. t0 in
-  observe (span_agg name) dur;
-  (match !sink with
-  | None -> ()
-  | Some s ->
-    let base =
-      [ ("ev", Json.Str "span"); ("name", Json.Str name);
-        ("ts", Json.Float (t0 -. s.epoch)); ("dur", Json.Float dur);
-        ("depth", Json.Int !span_depth) ]
-    in
-    let base = if error then base @ [ ("error", Json.Bool true) ] else base in
-    let base =
-      if attrs = [] then base else base @ [ ("attrs", Json.Obj attrs) ]
-    in
-    emit_line base);
-  decr span_depth
+  Fun.protect
+    ~finally:(fun () -> decr span_depth)
+    (fun () ->
+      let dur = now () -. t0 in
+      timer_observe (span_agg name) dur;
+      (match !sink with
+      | None -> ()
+      | Some s ->
+        let base =
+          [ ("ev", Json.Str "span"); ("name", Json.Str name);
+            ("ts", Json.Float (t0 -. s.epoch)); ("dur", Json.Float dur);
+            ("depth", Json.Int !span_depth) ]
+        in
+        let base =
+          if error then base @ [ ("error", Json.Bool true) ] else base
+        in
+        let base =
+          if attrs = [] then base else base @ [ ("attrs", Json.Obj attrs) ]
+        in
+        emit_line base);
+      match !trace with
+      | None -> ()
+      | Some (w, epoch) ->
+        let args =
+          if error then ("error", Json.Bool true) :: attrs else attrs
+        in
+        Chrome_trace.complete w ~name ~cat:"cegar" ~ts:(t0 -. epoch) ~dur
+          ~args ())
 
 let with_span ?(attrs = []) name f =
   if not !enabled_flag then f ()
@@ -222,7 +411,10 @@ let with_span ?(attrs = []) name f =
 (* ---- reporting ------------------------------------------------------- *)
 
 let snapshot () =
-  let counters = ref [] and gauges = ref [] and timers = ref [] in
+  let counters = ref []
+  and gauges = ref []
+  and timers = ref []
+  and hists = ref [] in
   List.iter
     (function
       | `C c -> counters := (c.c_name, Json.Int c.count) :: !counters
@@ -238,7 +430,16 @@ let snapshot () =
             Json.Obj
               [ ("calls", Json.Int t.calls); ("seconds", Json.Float t.total) ]
           )
-          :: !timers)
+          :: !timers
+      | `H h ->
+        hists :=
+          ( h.h_name,
+            Json.Obj
+              [ ("count", Json.Int h.h_count); ("sum", Json.Float h.h_sum);
+                ("max", Json.Float h.h_max);
+                ("p50", Json.Float (histogram_quantile h 0.5));
+                ("p90", Json.Float (histogram_quantile h 0.9)) ] )
+          :: !hists)
     reg.order;
   let spans =
     Hashtbl.fold
@@ -252,7 +453,8 @@ let snapshot () =
   in
   Json.Obj
     [ ("counters", Json.Obj !counters); ("gauges", Json.Obj !gauges);
-      ("timers", Json.Obj !timers); ("spans", Json.Obj spans) ]
+      ("timers", Json.Obj !timers); ("hists", Json.Obj !hists);
+      ("spans", Json.Obj spans) ]
 
 let pp_report ppf () =
   let spans =
@@ -281,6 +483,22 @@ let pp_report ppf () =
         Format.fprintf ppf "  %-28s calls=%-6d total=%8.3fs@." t.t_name
           t.calls t.total)
       timers
+  end;
+  let hists =
+    Hashtbl.fold (fun _ h acc -> h :: acc) reg.hists []
+    |> List.filter (fun h -> h.h_count > 0)
+    |> List.sort (fun a b -> compare a.h_name b.h_name)
+  in
+  if hists <> [] then begin
+    Format.fprintf ppf "histograms (p50/p90/max):@.";
+    List.iter
+      (fun h ->
+        Format.fprintf ppf "  %-28s count=%-6d %8.2g %8.2g %8.2g@." h.h_name
+          h.h_count
+          (histogram_quantile h 0.5)
+          (histogram_quantile h 0.9)
+          h.h_max)
+      hists
   end;
   let counters =
     Hashtbl.fold (fun _ c acc -> c :: acc) reg.counters []

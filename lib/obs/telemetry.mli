@@ -32,8 +32,10 @@ val disable : unit -> unit
 (** Stop recording spans/timers; counters and gauges keep counting. *)
 
 val reset : unit -> unit
-(** Zero every registered metric and clear span aggregates. Handles
-    already obtained remain valid (they are zeroed, not dropped). *)
+(** Zero every registered metric (histograms included) and clear span
+    aggregates; rewinds the span-depth tracker, so it must be called
+    between runs, never inside an open span. Handles already obtained
+    remain valid (they are zeroed, not dropped). *)
 
 (* ---- metrics --------------------------------------------------------- *)
 
@@ -66,7 +68,42 @@ val time : timer -> (unit -> 'a) -> 'a
 val timer_calls : timer -> int
 val timer_total : timer -> float
 
+(* ---- histograms ------------------------------------------------------ *)
+
+type histogram
+(** A log-bucketed distribution (factor-2 buckets from 1e-9 up):
+    good for durations in seconds and resource counts alike, with
+    quantiles accurate to within one bucket (a factor of 2). *)
+
+val histogram : string -> histogram
+(** Find-or-create, like {!counter}. *)
+
+val observe : histogram -> float -> unit
+(** Record one observation. Always live (like counters — a few integer
+    writes); negative and non-finite values are dropped. Call sites
+    that must {e compute} the value (a clock read, a BDD size) should
+    gate on {!enabled} or use {!time_hist}. *)
+
+val time_hist : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk, recording its wall-clock seconds as one observation
+    when {!enabled}; when disabled it is just the call. Exceptions
+    propagate; the partial duration is still observed. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+val histogram_max : histogram -> float
+
+val histogram_quantile : histogram -> float -> float
+(** [histogram_quantile h q] estimates the [q]-quantile ([0 < q <= 1])
+    as the upper bound of the bucket holding the rank-[q] observation,
+    clamped to the observed maximum; [0.0] with no observations. *)
+
 (* ---- spans ----------------------------------------------------------- *)
+
+val current_depth : unit -> int
+(** Number of currently open spans. A balanced instrumentation layer
+    returns to 0 after every run, whatever the outcome — the chaos
+    tests assert exactly that. *)
 
 val with_span : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f], recording a span when {!enabled}:
@@ -84,7 +121,9 @@ val span_stats : string -> (int * float) option
 
 val attach_jsonl : string -> unit
 (** Open [file] for writing and stream events to it as JSON Lines;
-    implies {!enable}. Any previously attached sink is closed first.
+    implies {!enable}. Any previously attached JSONL sink is closed
+    first, and a process-exit hook guarantees the file is flushed and
+    snapshot-terminated even on abort paths.
 
     Event schema (one object per line):
     - [{"ev":"span","name":s,"ts":t0,"dur":d,"depth":n,"attrs":{...}}]
@@ -92,26 +131,45 @@ val attach_jsonl : string -> unit
       attached, [depth] is 1 for top-level spans;
     - [{"ev":"counter","name":s,"value":n}],
       [{"ev":"gauge","name":s,"value":n,"peak":p}],
-      [{"ev":"timer","name":s,"calls":n,"seconds":d}] — the final
-      metric snapshot written by {!detach}. *)
+      [{"ev":"timer","name":s,"calls":n,"seconds":d}],
+      [{"ev":"histogram","name":s,"count":n,"sum":x,"max":x,"p50":x,
+      "p90":x,"buckets":[[i,c],...]}] — the final metric snapshot
+      written by {!detach}. *)
+
+val attach_trace : string -> unit
+(** Open [file] as a Chrome trace-event sink ({!Chrome_trace}); implies
+    {!enable}. Every span close becomes a complete ("X") slice, every
+    {!event} an instant marker, and every {!trace_counter} call a
+    counter track sample — the result loads directly in Perfetto or
+    chrome://tracing. Closed by {!detach} and by the process-exit
+    hook, so the trace survives abort paths. *)
+
+val trace_attached : unit -> bool
 
 val detach : unit -> unit
-(** Flush the metric snapshot to the sink (if any) and close it. Safe
-    to call with no sink attached; does not change {!enabled}. *)
+(** Flush the metric snapshot to the JSONL sink, terminate the trace
+    file, and close both. Safe to call with no sink attached (and
+    called again from the exit hook); does not change {!enabled}. *)
 
 val event : string -> (string * Json.t) list -> unit
-(** Emit a custom event line [{"ev":name, ...fields}] to the sink, if
-    one is attached. *)
+(** Emit a custom event line [{"ev":name, ...fields}] to the JSONL
+    sink and an instant marker to the trace sink, whichever are
+    attached. *)
+
+val trace_counter : string -> (string * float) list -> unit
+(** Emit one sample on a named counter track of the trace sink (no-op
+    without one): [trace_counter "gc" [("heap_words", w)]]. *)
 
 (* ---- reporting ------------------------------------------------------- *)
 
 val snapshot : unit -> Json.t
 (** All registered metrics and span aggregates as one JSON object:
-    [{"counters":{...},"gauges":{...},"timers":{...},"spans":{...}}].
-    Gauges appear as [{"value":v,"peak":p}], timers and spans as
-    [{"calls":n,"seconds":d}]. *)
+    [{"counters":{...},"gauges":{...},"timers":{...},"hists":{...},
+    "spans":{...}}]. Gauges appear as [{"value":v,"peak":p}], timers
+    and spans as [{"calls":n,"seconds":d}], histograms as
+    [{"count":n,"sum":x,"max":x,"p50":x,"p90":x}]. *)
 
 val pp_report : Format.formatter -> unit -> unit
-(** Human-readable end-of-run report: per-span wall time, non-zero
-    counters (with a derived BDD cache hit rate when the BDD counters
-    are present), and gauge peaks. *)
+(** Human-readable end-of-run report: per-span wall time, histogram
+    quantiles, non-zero counters (with a derived BDD cache hit rate
+    when the BDD counters are present), and gauge peaks. *)

@@ -13,6 +13,14 @@ let c_learned = Telemetry.counter "sat.learned"
 let c_restarts = Telemetry.counter "sat.restarts"
 let c_solves = Telemetry.counter "sat.solves"
 
+(* per-solve conflict burst: the distribution tells bursty guided
+   queries apart from a steadily hard instance *)
+let h_burst = Telemetry.histogram "sat.conflict_burst"
+
+(* problem + live learned clauses; sampled by the resource sampler at
+   phase boundaries *)
+let g_clause_db = Telemetry.gauge "sat.clause_db"
+
 type lit = int
 
 let lit v sign = (v lsl 1) lor (if sign then 0 else 1)
@@ -519,6 +527,8 @@ let solve ?(limits = no_limits) ?(assumptions = []) t =
     Telemetry.add c_propagations (t.n_propagations - p0);
     Telemetry.add c_learned (t.n_learned - l0);
     Telemetry.add c_restarts (t.n_restarts - r0);
+    Telemetry.observe h_burst (float_of_int (t.n_conflicts - c0));
+    Telemetry.record g_clause_db (t.nclauses + t.learnts.Cvec.sz);
     result
   in
   if not t.ok then finish Unsat

@@ -228,6 +228,40 @@ let test_all_sites_chaos () =
   | (Rfn.Aborted why, _), _, _ ->
     Alcotest.fail ("counter: chaos not recovered: " ^ F.to_string why)
 
+(* ---- span balance under the ladders ---------------------------------- *)
+
+(* Regression: phase spans used to leak when a rung raised through the
+   supervisor (the close lives in a [Fun.protect] finally now). With
+   telemetry live, every ladder outcome — recovery, escalation,
+   all-site chaos — must leave the span stack exactly balanced. *)
+let test_span_depth_balanced () =
+  Telemetry.detach ();
+  Telemetry.reset ();
+  Telemetry.enable ();
+  Fun.protect ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ())
+  @@ fun () ->
+  List.iter
+    (fun site ->
+      let tag = Supervisor.site_to_string site in
+      ignore (verify_fifo (inject_one site));
+      Alcotest.(check int)
+        (tag ^ ": balanced after the proving run")
+        0
+        (Telemetry.current_depth ());
+      ignore (verify_counter (inject_one site));
+      Alcotest.(check int)
+        (tag ^ ": balanced after the falsifying run")
+        0
+        (Telemetry.current_depth ()))
+    all_sites;
+  (match Supervisor.inject_of_spec "all" with
+  | Some hook -> ignore (verify_fifo hook)
+  | None -> Alcotest.fail "inject_of_spec \"all\" must produce a hook");
+  Alcotest.(check int) "balanced after all-site chaos" 0
+    (Telemetry.current_depth ())
+
 (* ---- deadline grace -------------------------------------------------- *)
 
 let test_budget_grace () =
@@ -309,6 +343,8 @@ let tests =
   @ [
       Alcotest.test_case "all-site chaos keeps both verdicts" `Quick
         test_all_sites_chaos;
+      Alcotest.test_case "span depth balanced under every ladder outcome"
+        `Quick test_span_depth_balanced;
       Alcotest.test_case "slow engines respect the budget grace" `Quick
         test_budget_grace;
       Alcotest.test_case "aborts carry structured reasons" `Quick
