@@ -17,7 +17,12 @@ let load path =
   | Failure msg -> Error msg
   | Sys_error msg -> Error msg
 
-let config_of ~max_seconds ~node_limit ~max_iterations ~engines ~inject =
+let config_of ~max_seconds ~node_limit ~max_iterations ~engines ~inject ~race
+    ~checkpoint ~resume =
+  let proc =
+    if race then { (Rfn_proc.Proc.policy_of_env ()) with Rfn_proc.Proc.enabled = true }
+    else Rfn_proc.Proc.policy_of_env ()
+  in
   {
     Rfn.default_config with
     Rfn.max_seconds;
@@ -25,6 +30,9 @@ let config_of ~max_seconds ~node_limit ~max_iterations ~engines ~inject =
     max_iterations;
     engines;
     inject;
+    proc;
+    checkpoint;
+    resume;
   }
 
 (* Engine selection for the falsification phases; the default defers to
@@ -152,6 +160,35 @@ let verify_cmd =
   in
   let baseline = Arg.(value & flag & info [ "baseline" ]
                         ~doc:"Also run plain COI model checking.") in
+  let race =
+    Arg.(
+      value & flag
+      & info [ "race" ]
+          ~doc:
+            "Run concretization and the refinement re-check as races over \
+             process-isolated engine workers (first conclusive answer wins, \
+             losers are cancelled). Equivalent to $(b,RFN_RACE=1); worker \
+             knobs come from the $(b,RFN_PROC_*) environment variables.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Persist the CEGAR loop state to $(docv) at every iteration \
+             boundary (atomic writes, keyed by a netlist digest). The file \
+             is removed on a conclusive verdict and kept on abort.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the $(b,--checkpoint) file if it exists and \
+             matches this design and property; otherwise warn and start \
+             fresh.")
+  in
   (* Hidden chaos-testing knob: force one fault per listed supervisor
      site and watch the retry/fallback ladders recover. *)
   let inject_faults =
@@ -161,8 +198,9 @@ let verify_cmd =
       & info [ "inject-faults" ] ~docv:"SITES" ~docs:Cmdliner.Manpage.s_none)
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
-  let run netlist prop seconds nodes iters engines trace_out baseline
-      inject_faults lint metrics_out chrome_trace profile verbose =
+  let run netlist prop seconds nodes iters engines trace_out baseline race
+      checkpoint resume inject_faults lint metrics_out chrome_trace profile
+      verbose =
     setup_logs verbose;
     match load netlist with
     | Error msg ->
@@ -203,7 +241,7 @@ let verify_cmd =
         with_telemetry ~profile @@ fun () ->
         let config =
           config_of ~max_seconds:seconds ~node_limit:nodes
-            ~max_iterations:iters ~engines ~inject
+            ~max_iterations:iters ~engines ~inject ~race ~checkpoint ~resume
         in
         let outcome, stats = Rfn.verify ~config circuit property in
         Format.printf
@@ -212,6 +250,9 @@ let verify_cmd =
           stats.Rfn.coi_regs stats.Rfn.coi_gates
           (List.length stats.Rfn.iterations)
           stats.Rfn.final_abstract_regs stats.Rfn.seconds;
+        if stats.Rfn.resumed_iterations > 0 then
+          Format.printf "resumed past %d checkpointed iteration(s)@."
+            stats.Rfn.resumed_iterations;
         if baseline then begin
           let verdict, secs =
             Rfn.check_coi_model_checking ?max_seconds:seconds circuit property
@@ -251,8 +292,8 @@ let verify_cmd =
        ~doc:"Verify that an output signal can never be driven to 1.")
     Term.(
       const run $ netlist $ prop $ seconds $ nodes $ iters $ engines_arg
-      $ trace_out $ baseline $ inject_faults $ lint_arg $ metrics_out_arg
-      $ trace_out_arg $ profile_arg $ verbose)
+      $ trace_out $ baseline $ race $ checkpoint $ resume $ inject_faults
+      $ lint_arg $ metrics_out_arg $ trace_out_arg $ profile_arg $ verbose)
 
 (* ---- rfn coverage --------------------------------------------------- *)
 
@@ -531,12 +572,19 @@ let explain_cmd =
   let run metrics json =
     let module Json = Rfn_obs.Json in
     let module Provenance = Rfn_obs.Provenance in
+    (* A file from a crashed or killed run commonly ends in a torn
+       line (a partial JSON object, or half a UTF-8 sequence). Every
+       malformed line — torn tail or mid-file corruption — is skipped
+       with a warning and counted; whatever parsed is still replayed,
+       with a recovery summary so a partial story is never mistaken
+       for a complete one. *)
     match
       let ic = open_in metrics in
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
           let records = ref [] in
+          let skipped = ref 0 in
           let lineno = ref 0 in
           (try
              while true do
@@ -545,35 +593,47 @@ let explain_cmd =
                if String.trim line <> "" then
                  match Json.of_string line with
                  | exception Failure msg ->
-                   Format.eprintf "warning: %s:%d: %s@." metrics !lineno msg
+                   incr skipped;
+                   Format.eprintf "warning: %s:%d: skipping: %s@." metrics
+                     !lineno msg
                  | j -> (
                    match Json.member "ev" j with
                    | Some (Json.Str "rfn.iteration") -> (
                      match Provenance.of_json j with
                      | Ok p -> records := p :: !records
                      | Error field ->
+                       incr skipped;
                        Format.eprintf
-                         "warning: %s:%d: bad rfn.iteration record (%s)@."
+                         "warning: %s:%d: skipping bad rfn.iteration record \
+                          (%s)@."
                          metrics !lineno field)
                    | _ -> ())
              done
            with End_of_file -> ());
-          List.rev !records)
+          (List.rev !records, !skipped))
     with
     | exception Sys_error msg ->
       Format.eprintf "error: %s@." msg;
       1
-    | [] ->
+    | [], skipped ->
       Format.eprintf
-        "error: no rfn.iteration records in %s (was the run made with \
+        "error: no rfn.iteration records in %s%s (was the run made with \
          --metrics-out?)@."
-        metrics;
+        metrics
+        (if skipped > 0 then
+           Printf.sprintf " after skipping %d malformed line(s)" skipped
+         else "");
       1
-    | records ->
+    | records, skipped ->
       if json then
         print_endline
           (Json.to_string (Json.List (List.map Provenance.to_json records)))
       else Format.printf "%a" Provenance.pp_story records;
+      if skipped > 0 then
+        Format.eprintf
+          "warning: recovered %d record(s); skipped %d malformed line(s) — \
+           the story above may be incomplete@."
+          (List.length records) skipped;
       0
   in
   Cmd.v

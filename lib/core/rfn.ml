@@ -20,6 +20,7 @@ let c_sup_fallbacks = Telemetry.counter "supervisor.fallbacks"
 let c_sup_injected = Telemetry.counter "supervisor.injected_faults"
 let c_sat_learned = Telemetry.counter "sat.learned"
 let c_atpg_backtracks = Telemetry.counter "atpg.backtracks"
+let c_worker_failures = Telemetry.counter "proc.worker_failures"
 let g_bdd_nodes = Telemetry.gauge "bdd.live_nodes"
 
 type engines = Atpg_only | Sat_only | Portfolio
@@ -63,6 +64,9 @@ type config = {
       (* validate cross-artifact invariants (varmap totality, trace
          shape, cone-cache consistency) at every phase boundary;
          defaults to the RFN_CHECK environment flag *)
+  proc : Rfn_proc.Proc.policy;
+  checkpoint : string option;
+  resume : bool;
 }
 
 let default_config =
@@ -79,6 +83,9 @@ let default_config =
     inject = None;
     session = Session.default_policy;
     check_invariants = Rfn_lint.Check.env_enabled ();
+    proc = Rfn_proc.Proc.policy_of_env ();
+    checkpoint = None;
+    resume = false;
   }
 
 type iteration = {
@@ -101,6 +108,7 @@ type stats = {
   final_abstract_regs : int;
   last_abstract_trace : Trace.t option;
   seconds : float;
+  resumed_iterations : int;
 }
 
 type outcome = Proved | Falsified of Trace.t | Aborted of F.t
@@ -120,7 +128,96 @@ let verify ?(config = default_config) circuit prop =
   let iterations = ref [] in
   let provenance = ref [] in
   let last_trace = ref None in
+  (* ---- crash-safe checkpointing --------------------------------------
+     The loop state (abstraction register set, iteration counter,
+     escalation factor, provenance tail) is persisted atomically at
+     each iteration boundary, keyed by a digest of the netlist: a
+     killed run resumes from its last completed refinement, and a
+     checkpoint written for a different design or property is ignored
+     with a warning rather than trusted. *)
+  let netlist_hash =
+    match config.checkpoint with
+    | None -> ""
+    | Some _ -> Rfn_proc.Checkpoint.hash_circuit circuit
+  in
+  let resumed_iterations = ref 0 in
+  let start_iter = ref 1 in
+  (if config.resume then
+     match config.checkpoint with
+     | None -> ()
+     | Some file when not (Sys.file_exists file) -> ()
+     | Some file -> (
+       let fresh msg =
+         Log.warn (fun m ->
+             m "ignoring checkpoint %s (%s); starting fresh" file msg)
+       in
+       match Rfn_proc.Checkpoint.load file with
+       | Error msg -> fresh msg
+       | Ok ck -> (
+         match
+           Rfn_proc.Checkpoint.validate ck ~netlist_hash
+             ~property:prop.Property.name
+         with
+         | Error msg -> fresh msg
+         | Ok () -> (
+           match
+             List.map (Circuit.find circuit) ck.Rfn_proc.Checkpoint.regs
+           with
+           | exception Not_found ->
+             fresh "a checkpointed register is not in this design"
+           | ids ->
+             let current =
+               (Session.abstraction session).Abstraction.regs
+             in
+             let add =
+               List.filter (fun s -> not (Bitset.mem current s)) ids
+             in
+             if add <> [] then ignore (Session.refine session ~add);
+             Supervisor.set_escalation sup ck.Rfn_proc.Checkpoint.escalation;
+             provenance := List.rev ck.Rfn_proc.Checkpoint.provenance;
+             start_iter := max 1 ck.Rfn_proc.Checkpoint.iteration;
+             resumed_iterations := max 0 (!start_iter - 1);
+             Telemetry.event "rfn.resume"
+               [
+                 ("file", Rfn_obs.Json.Str file);
+                 ("iteration", Rfn_obs.Json.Int !start_iter);
+                 ( "regs",
+                   Rfn_obs.Json.Int
+                     (Abstraction.num_regs (Session.abstraction session)) );
+               ];
+             Log.info (fun m ->
+                 m "resumed from %s: continuing at iteration %d with %d \
+                    registers"
+                   file !start_iter
+                   (Abstraction.num_regs (Session.abstraction session)))))));
+  let save_checkpoint iter =
+    match config.checkpoint with
+    | None -> ()
+    | Some file -> (
+      let abstraction = Session.abstraction session in
+      let regs =
+        List.map (Circuit.name circuit)
+          (Bitset.to_list abstraction.Abstraction.regs)
+      in
+      let ck =
+        Rfn_proc.Checkpoint.make ~netlist_hash ~property:prop.Property.name
+          ~iteration:iter
+          ~seconds_used:(Telemetry.now () -. started)
+          ~escalation:(Supervisor.escalation sup)
+          ~regs
+          ~provenance:(List.rev !provenance)
+      in
+      try Rfn_proc.Checkpoint.save file ck
+      with Sys_error msg ->
+        Log.warn (fun m -> m "checkpoint save failed: %s" msg))
+  in
   let finish abstraction outcome =
+    (* a conclusive verdict retires the checkpoint; an abort keeps it
+       so the run can be resumed *)
+    (match (outcome, config.checkpoint) with
+    | (Proved | Falsified _), Some file when Sys.file_exists file -> (
+      try Sys.remove file with Sys_error _ -> ())
+    | _ -> ());
     ( outcome,
       {
         iterations = List.rev !iterations;
@@ -130,6 +227,7 @@ let verify ?(config = default_config) circuit prop =
         final_abstract_regs = Abstraction.num_regs abstraction;
         last_abstract_trace = !last_trace;
         seconds = Telemetry.now () -. started;
+        resumed_iterations = !resumed_iterations;
       } )
   in
   let time_left () = Supervisor.time_left sup in
@@ -151,6 +249,7 @@ let verify ?(config = default_config) circuit prop =
   in
   let rec iterate iter =
     let abstraction = Session.abstraction session in
+    save_checkpoint iter;
     if iter > config.max_iterations then
       finish abstraction (Aborted (loop_failure iter F.Iterations))
     else if Supervisor.out_of_time sup then
@@ -167,6 +266,7 @@ let verify ?(config = default_config) circuit prop =
       let injected0 = Telemetry.counter_value c_sup_injected in
       let learned0 = Telemetry.counter_value c_sat_learned in
       let backtracks0 = Telemetry.counter_value c_atpg_backtracks in
+      let worker_failures0 = Telemetry.counter_value c_worker_failures in
       let record ?cut_size ?(no_cut = 0) ?(min_cut = 0) ?trace_length
           ?(candidates = 0) ?(added = 0) ?(cubes = 0) ?(guidance = 0)
           ?(engine = "") ?(concretize = "none") ?(promoted = []) ?regs_after
@@ -204,6 +304,8 @@ let verify ?(config = default_config) circuit prop =
             retries = Telemetry.counter_value c_sup_retries - retries0;
             fallbacks = Telemetry.counter_value c_sup_fallbacks - fallbacks0;
             injected = Telemetry.counter_value c_sup_injected - injected0;
+            worker_failures =
+              Telemetry.counter_value c_worker_failures - worker_failures0;
             bdd_nodes = Telemetry.gauge_value g_bdd_nodes;
             bdd_peak = Telemetry.gauge_peak g_bdd_nodes;
             sat_learned = Telemetry.counter_value c_sat_learned - learned0;
@@ -425,6 +527,40 @@ let verify ?(config = default_config) circuit prop =
                     (Supervisor.Fallback, "guided-sat", sat_rung);
                   ] )
             in
+            (* With the worker pool enabled the portfolio becomes a
+               genuine race: both engines run concurrently in isolated
+               processes and the first conclusive answer wins. The
+               in-process rungs stay on the ladder as fallbacks, so a
+               crashed, hung or babbling worker degrades to the
+               sequential portfolio instead of changing the verdict. *)
+            let concretize_rungs =
+              if not config.proc.Rfn_proc.Proc.enabled then concretize_rungs
+              else begin
+                let race_rung () =
+                  let limits =
+                    Supervisor.concrete_limits sup config.concrete_atpg
+                  in
+                  let engines =
+                    match config.engines with
+                    | Atpg_only -> [ `Atpg ]
+                    | Sat_only -> [ `Sat ]
+                    | Portfolio -> [ `Atpg; `Sat ]
+                  in
+                  match
+                    Racing.concretize ?deadline:limits.Atpg.max_seconds
+                      ~policy:config.proc ~engines ~limits circuit ~bad
+                      ~abstract_traces:guidance
+                  with
+                  | Ok outcome -> as_rung outcome
+                  | Error r -> Error r
+                in
+                (Supervisor.Primary, "race", race_rung)
+                :: List.map
+                     (fun (_, label, thunk) ->
+                       (Supervisor.Fallback, label, thunk))
+                     concretize_rungs
+              end
+            in
             let concrete =
               Telemetry.with_span "rfn.concretize" ~attrs (fun () ->
                   match
@@ -516,19 +652,51 @@ let verify ?(config = default_config) circuit prop =
                 | Bmc.Exhausted, _ -> Error F.No_refinement
                 | Bmc.Gave_up _, _ -> Error F.Conflicts
               in
-              let refine_rungs =
-                (Supervisor.Primary, "crucial-registers", crucial)
-                :: (Supervisor.Fallback, "highest-fanout", highest_fanout)
-                ::
-                (match config.engines with
-                | Atpg_only -> [ (Supervisor.Fallback, "bmc-recheck", bmc_recheck) ]
+              let recheck_rungs =
+                match config.engines with
+                | Atpg_only ->
+                  [ (Supervisor.Fallback, "bmc-recheck", bmc_recheck) ]
                 | Sat_only ->
                   [ (Supervisor.Fallback, "sat-bmc-recheck", sat_recheck) ]
                 | Portfolio ->
                   [
                     (Supervisor.Fallback, "bmc-recheck", bmc_recheck);
                     (Supervisor.Fallback, "sat-bmc-recheck", sat_recheck);
-                  ])
+                  ]
+              in
+              (* the raced re-check runs first; the in-process twins
+                 remain below it as the no-worker fallback *)
+              let recheck_rungs =
+                if not config.proc.Rfn_proc.Proc.enabled then recheck_rungs
+                else begin
+                  let race_recheck () =
+                    let limits =
+                      Supervisor.concrete_limits sup config.concrete_atpg
+                    in
+                    let engines =
+                      match config.engines with
+                      | Atpg_only -> [ `Bmc ]
+                      | Sat_only -> [ `Sat ]
+                      | Portfolio -> [ `Bmc; `Sat ]
+                    in
+                    match
+                      Racing.falsify ?deadline:limits.Atpg.max_seconds
+                        ~policy:config.proc ~engines ~limits circuit ~bad
+                        ~max_depth:(Trace.length abstract_trace)
+                    with
+                    | Ok (Bmc.Found t) -> Ok (`Cex t)
+                    | Ok Bmc.Exhausted -> Error F.No_refinement
+                    | Ok (Bmc.Gave_up _) -> Error F.Backtracks
+                    | Error r -> Error r
+                  in
+                  (Supervisor.Fallback, "race-recheck", race_recheck)
+                  :: recheck_rungs
+                end
+              in
+              let refine_rungs =
+                (Supervisor.Primary, "crucial-registers", crucial)
+                :: (Supervisor.Fallback, "highest-fanout", highest_fanout)
+                :: recheck_rungs
               in
               let refinement =
                 Telemetry.with_span "rfn.refine" ~attrs (fun () ->
@@ -582,7 +750,7 @@ let verify ?(config = default_config) circuit prop =
                     (F.Invariant "hybrid engine returned no abstract traces")))))
     end
   in
-  try iterate 1
+  try iterate !start_iter
   with Check_violation failure ->
     finish (Session.abstraction session) (Aborted failure)
 

@@ -84,6 +84,25 @@ type config = {
           refinement; a violation aborts with a structured
           [Invariant] failure. Defaults to the [RFN_CHECK]
           environment flag ({!Rfn_lint.Check.env_enabled}) *)
+  proc : Rfn_proc.Proc.policy;
+      (** worker-pool policy: when [enabled], Step 3 and the
+          empty-refinement re-check run as races over isolated worker
+          processes ({!Racing}), with the in-process engines demoted
+          to fallback rungs — a worker crash, hang, memory blow-up or
+          protocol violation degrades to the sequential portfolio and
+          can never change the verdict. Defaults to
+          {!Rfn_proc.Proc.policy_of_env} ([RFN_RACE] etc.) *)
+  checkpoint : string option;
+      (** when set, serialize the loop state to this file at every
+          iteration boundary (atomic write, keyed by a netlist
+          digest); removed again on a conclusive verdict, kept on
+          abort so the run can be resumed *)
+  resume : bool;
+      (** load [checkpoint] before starting (if the file exists and
+          matches this design and property — otherwise warn and start
+          fresh): the abstraction is re-seeded with the checkpointed
+          registers, the escalation factor is restored, and iteration
+          numbering continues where the killed run stopped *)
 }
 
 val default_config : config
@@ -113,6 +132,11 @@ type stats = {
       (** the abstract error trace of the last iteration that produced
           one — what guided the final concretization (for ablations) *)
   seconds : float;
+  resumed_iterations : int;
+      (** iterations skipped because a checkpoint was resumed (0 for a
+          fresh run); [provenance] still covers them — the
+          checkpointed tail is prepended — but [iterations] only
+          covers the iterations this process actually ran *)
 }
 
 type outcome =

@@ -28,7 +28,7 @@ let site_of_string = function
           concretize or refine)"
          s)
 
-type fault = Fail | Delay of float
+type fault = Fail | Delay of float | Worker of Rfn_proc.Proc.worker_fault
 type kind = Primary | Retry | Fallback
 
 type policy = {
@@ -66,23 +66,38 @@ let inject_of_spec spec =
   let spec = String.trim spec in
   if spec = "" || spec = "off" then None
   else begin
-    let sites =
-      if spec = "all" then [ Abstract_mc; Hybrid_extract; Concretize; Refine ]
+    let entries =
+      if spec = "all" then
+        List.map
+          (fun s -> (s, Fail))
+          [ Abstract_mc; Hybrid_extract; Concretize; Refine ]
       else
         String.split_on_char ',' spec
-        |> List.map (fun s -> site_of_string (String.trim s))
+        |> List.map (fun tok ->
+               let tok = String.trim tok in
+               (* worker faults target the racing site: the next worker
+                  spawned by a concretization race suffers the fault *)
+               match Rfn_proc.Proc.worker_fault_of_string tok with
+               | Some f -> (Concretize, Worker f)
+               | None -> (site_of_string tok, Fail))
     in
-    (* Once per site per hook: the first consultation faults, every
-       later one (the retry/fallback rungs of the same ladder, and
-       later iterations) passes — so a supervised run must recover. *)
+    (* Once per entry per hook: the first consultation at the entry's
+       site faults, every later one (the retry/fallback rungs of the
+       same ladder, and later iterations) passes — so a supervised run
+       must recover. *)
     let fired = Hashtbl.create 4 in
     Some
       (fun site ->
-        if List.mem site sites && not (Hashtbl.mem fired site) then begin
-          Hashtbl.add fired site ();
-          Some Fail
-        end
-        else None)
+        let rec first i = function
+          | [] -> None
+          | (s, f) :: rest ->
+            if s = site && not (Hashtbl.mem fired i) then begin
+              Hashtbl.add fired i ();
+              Some f
+            end
+            else first (i + 1) rest
+        in
+        first 0 entries)
   end
 
 let inject_of_env () =
@@ -134,6 +149,11 @@ let concrete_limits t (base : Atpg.limits) =
 
 let escalation t = t.escalation
 
+(* Restoring a checkpointed escalation factor on resume: clamp into
+   the policy's legal range rather than trusting the file. *)
+let set_escalation t factor =
+  t.escalation <- max 1 (min t.policy.backtrack_cap factor)
+
 let escalate t =
   if t.escalation < t.policy.backtrack_cap then begin
     t.escalation <-
@@ -146,10 +166,21 @@ let escalate t =
 (* ---- the ladder executor --------------------------------------------- *)
 
 (* An injected delay must respect the deadline, or the grace-period
-   guarantee would be voided by the harness itself. *)
+   guarantee would be voided by the harness itself. [Unix.sleepf] can
+   return early when a signal lands (the worker pool's SIGCHLD, a
+   profiler's SIGALRM), so loop until the intended wake-up time. *)
 let sleep_within t s =
   let s = match time_left t with None -> s | Some r -> Float.min s r in
-  if s > 0.0 then Unix.sleepf s
+  let wake = Telemetry.now () +. s in
+  let rec nap () =
+    let remaining = wake -. Telemetry.now () in
+    if remaining > 0.0 then begin
+      (try Unix.sleepf remaining
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      nap ()
+    end
+  in
+  if s > 0.0 then nap ()
 
 let run t ~site ~engine ~phase ~iteration rungs =
   let fail ~attempts resource =
@@ -179,6 +210,12 @@ let run t ~site ~engine ~phase ~iteration rungs =
             Telemetry.incr c_injected;
             sleep_within t s;
             thunk ()
+          | Some (Worker f) ->
+            (* arm the pool's one-shot slot: the next worker spawned
+               inside the rung suffers the fault; a rung that spawns no
+               worker is unaffected (the slot is cleared on exit) *)
+            Telemetry.incr c_injected;
+            Rfn_proc.Proc.with_injected f thunk
           | None -> thunk ()
         in
         match result with

@@ -34,6 +34,10 @@ type t = {
   retries : int;  (** supervisor retry rungs executed this iteration *)
   fallbacks : int;  (** supervisor fallback rungs executed this iteration *)
   injected : int;  (** faults injected this iteration *)
+  worker_failures : int;
+      (** isolated-worker failures (crash / timeout / oom / garbage)
+          absorbed by the supervisor this iteration; absent in files
+          written before the worker pool existed and parsed as [0] *)
   bdd_nodes : int;  (** live BDD nodes at iteration end *)
   bdd_peak : int;  (** peak live BDD nodes so far *)
   sat_learned : int;  (** SAT learned clauses added this iteration *)

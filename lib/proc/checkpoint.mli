@@ -1,0 +1,64 @@
+(** Crash-safe CEGAR checkpoints.
+
+    The driver serializes its loop state — the abstraction's register
+    set, the iteration counter, the wall-clock already spent, the
+    provenance tail — at each iteration boundary, so a killed run
+    resumes from its last completed refinement instead of restarting.
+    A checkpoint never stores the netlist itself, only a digest of it:
+    on resume the digest and property name must match the freshly
+    loaded design, otherwise the checkpoint is stale and the run
+    starts over (registers are stored by name, so a renamed or
+    re-synthesized design must not silently re-seed an abstraction).
+
+    Writes are atomic (temp file in the same directory, then [rename])
+    so a crash mid-save leaves the previous checkpoint intact, never a
+    torn file. *)
+
+type t = {
+  version : int;  (** format version; {!current_version} when built here *)
+  netlist_hash : string;  (** {!hash_circuit} of the design under proof *)
+  property : string;  (** property name the run was verifying *)
+  iteration : int;
+      (** 1-based index of the next iteration to run: every iteration
+          below it completed before the checkpoint was written *)
+  seconds_used : float;  (** wall-clock consumed before the checkpoint *)
+  escalation : int;
+      (** the supervisor's backtrack-escalation factor at checkpoint
+          time, so a resumed run searches as hard as the killed one *)
+  regs : string list;
+      (** register names of the abstraction, including every
+          refinement promoted so far *)
+  provenance : Rfn_obs.Provenance.t list;
+      (** completed-iteration records, oldest first *)
+}
+
+val current_version : int
+
+val hash_circuit : Rfn_circuit.Circuit.t -> string
+(** Hex digest of the canonical BENCH rendering: stable across loads
+    of the same design, different for any structural change. *)
+
+val make :
+  netlist_hash:string ->
+  property:string ->
+  iteration:int ->
+  seconds_used:float ->
+  escalation:int ->
+  regs:string list ->
+  provenance:Rfn_obs.Provenance.t list ->
+  t
+(** A {!current_version} checkpoint. *)
+
+val save : string -> t -> unit
+(** Atomically (write temp + rename) persist to [file].
+    @raise Sys_error when the directory is not writable. *)
+
+val load : string -> (t, string) result
+(** Read and parse [file]; [Error] describes what is wrong (missing
+    file, malformed JSON, missing field, unsupported version) without
+    raising. *)
+
+val validate :
+  t -> netlist_hash:string -> property:string -> (unit, string) result
+(** Check a loaded checkpoint against the run about to resume;
+    [Error] explains the mismatch (hash or property). *)

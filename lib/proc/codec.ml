@@ -1,0 +1,51 @@
+module Json = Rfn_obs.Json
+module Cube = Rfn_circuit.Cube
+module Trace = Rfn_circuit.Trace
+
+let cube_to_json c =
+  Json.List
+    (List.map
+       (fun (signal, value) -> Json.List [ Json.Int signal; Json.Bool value ])
+       (Cube.to_list c))
+
+let cube_of_json = function
+  | Json.List pairs -> (
+    let decode = function
+      | Json.List [ Json.Int signal; Json.Bool value ] -> Some (signal, value)
+      | _ -> None
+    in
+    let decoded = List.filter_map decode pairs in
+    if List.length decoded <> List.length pairs then None
+    else
+      match Cube.of_list decoded with
+      | cube -> Some cube
+      | exception Invalid_argument _ -> None)
+  | _ -> None
+
+let cubes_to_json cubes =
+  Json.List (Array.to_list (Array.map cube_to_json cubes))
+
+let cubes_of_json = function
+  | Json.List xs ->
+    let decoded = List.filter_map cube_of_json xs in
+    if List.length decoded <> List.length xs then None
+    else Some (Array.of_list decoded)
+  | _ -> None
+
+let trace_to_json t =
+  Json.Obj
+    [
+      ("states", cubes_to_json t.Trace.states);
+      ("inputs", cubes_to_json t.Trace.inputs);
+    ]
+
+let trace_of_json j =
+  match
+    ( Option.bind (Json.member "states" j) cubes_of_json,
+      Option.bind (Json.member "inputs" j) cubes_of_json )
+  with
+  | Some states, Some inputs -> (
+    match Trace.make ~states ~inputs with
+    | trace -> Some trace
+    | exception Invalid_argument _ -> None)
+  | _ -> None
