@@ -168,6 +168,114 @@ let micro () =
 
 (* ---- machine-readable summary (BENCH_rfn.json) ---------------------- *)
 
+(* Replay the same workloads as one JSONL batch through the real server
+   ({!Rfn_serve.Server.run} over temp files) so BENCH_rfn.json records
+   what warm-session reuse buys over the per-property cold runs: the
+   serve.* counters genuinely bump, and every verdict must agree with
+   the cold phase. [cold] carries (name, result, cones_recompiled,
+   seconds) per cold run. *)
+let serve_batch ~workloads ~cold () =
+  let module Protocol = Rfn_serve.Protocol in
+  let module Server = Rfn_serve.Server in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let infile = Filename.temp_file "rfn_serve" ".in.jsonl" in
+  let outfile = Filename.temp_file "rfn_serve" ".out.jsonl" in
+  let oc = open_out infile in
+  List.iter
+    (fun (name, circuit, prop) ->
+      let submit =
+        {
+          Protocol.id = name;
+          design = Protocol.Netlist (Bench_io.to_string circuit);
+          property = prop.Property.name;
+          budget = Protocol.no_budget;
+        }
+      in
+      output_string oc (Json.to_string (Protocol.submit_to_json submit));
+      output_char oc '\n')
+    workloads;
+  output_string oc {|{"op":"shutdown"}|};
+  output_char oc '\n';
+  close_out oc;
+  let input = Unix.openfile infile [ Unix.O_RDONLY ] 0 in
+  let output = open_out outfile in
+  let config = { Rfn.default_config with Rfn.check_invariants = true } in
+  let t0 = Unix.gettimeofday () in
+  let completed =
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.close input;
+        close_out_noerr output)
+      (fun () -> Server.run ~config ~input ~output ())
+  in
+  let seconds_batch = Unix.gettimeofday () -. t0 in
+  let verdicts =
+    let ic = open_in outfile in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line -> (
+            match Json.of_string line with
+            | exception Failure _ -> go acc
+            | j -> (
+              match Json.member "ev" j with
+              | Some (Json.Str "result") -> (
+                let get k = Option.bind (Json.member k j) Json.to_str in
+                match (get "id", get "verdict") with
+                | Some id, Some v -> go ((id, v) :: acc)
+                | _ -> go acc)
+              | _ -> go acc))
+        in
+        go [])
+  in
+  Sys.remove infile;
+  Sys.remove outfile;
+  let agrees cold_result verdict =
+    match cold_result with
+    | "T" -> verdict = "proved"
+    | "F" -> verdict = "falsified"
+    | _ -> verdict = "aborted"
+  in
+  let verdicts_match =
+    List.length verdicts = List.length cold
+    && List.for_all
+         (fun (name, result, _, _) ->
+           match List.assoc_opt name verdicts with
+           | Some v -> agrees result v
+           | None -> false)
+         cold
+  in
+  let count name = Telemetry.counter_value (Telemetry.counter name) in
+  let cones_recompiled_cold =
+    List.fold_left (fun acc (_, _, n, _) -> acc + n) 0 cold
+  in
+  let seconds_cold =
+    List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0.0 cold
+  in
+  Format.printf
+    "  serve batch: %d job(s), %d warm reuse(s), cones recompiled %d (cold \
+     %d), %.2fs (cold %.2fs)@."
+    completed
+    (count "serve.sessions_reused")
+    (count "session.cones_recompiled")
+    cones_recompiled_cold seconds_batch seconds_cold;
+  Json.Obj
+    [
+      ("jobs_completed", Json.Int completed);
+      ("sessions_created", Json.Int (count "serve.sessions_created"));
+      ("sessions_reused", Json.Int (count "serve.sessions_reused"));
+      ("cones_recompiled_cold", Json.Int cones_recompiled_cold);
+      ("cones_recompiled_batch", Json.Int (count "session.cones_recompiled"));
+      ("cones_reused_batch", Json.Int (count "session.cones_reused"));
+      ("seconds_cold", Json.Float seconds_cold);
+      ("seconds_batch", Json.Float seconds_batch);
+      ("verdicts_match", Json.Bool verdicts_match);
+    ]
+
 let bench_json ~quick () =
   section "JSON summary (BENCH_rfn.json)";
   let workloads =
@@ -232,6 +340,7 @@ let bench_json ~quick () =
   in
   let g_carried = Telemetry.gauge "session.nodes_carried" in
   let was_enabled = Telemetry.enabled () in
+  let cold = ref [] in
   let rows =
     List.map
       (fun (name, circuit, prop) ->
@@ -254,6 +363,12 @@ let bench_json ~quick () =
         Format.printf "  %-28s %-6s %6.2fs  %d iteration(s)@." name result
           stats.Rfn.seconds
           (List.length stats.Rfn.iterations);
+        cold :=
+          ( name,
+            result,
+            Telemetry.counter_value (session_counter "cones_recompiled"),
+            stats.Rfn.seconds )
+          :: !cold;
         Json.Obj
           [
             ("name", Json.Str name);
@@ -338,6 +453,7 @@ let bench_json ~quick () =
           ])
       workloads
   in
+  let serve = serve_batch ~workloads ~cold:(List.rev !cold) () in
   if not was_enabled then Telemetry.disable ();
   let summary =
     Json.Obj
@@ -345,6 +461,7 @@ let bench_json ~quick () =
         ("bench", Json.Str "rfn");
         ("quick", Json.Bool quick);
         ("designs", Json.List rows);
+        ("serve", serve);
       ]
   in
   let oc = open_out "BENCH_rfn.json" in

@@ -551,6 +551,101 @@ let simplify_cmd =
           sweeping; writes the simplified netlist.")
     Term.(const run $ netlist $ out)
 
+(* ---- rfn serve ------------------------------------------------------ *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) (connections served \
+             sequentially; the warm-session pool persists across them) \
+             instead of speaking JSONL over stdin/stdout.")
+  in
+  let max_sessions =
+    Arg.(
+      value & opt int 4
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:
+            "Warm-session LRU capacity: at most $(docv) designs keep their \
+             symbolic state resident; the least-recently used is evicted \
+             beyond that.")
+  in
+  let max_nodes =
+    Arg.(
+      value & opt int 8_000_000
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:
+            "Pool-wide live BDD node cap: after each job, least-recently \
+             used sessions are evicted until the total drops under $(docv) \
+             (the session just used is never evicted).")
+  in
+  let checkpoint_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Checkpoint every job's loop state to \
+             $(docv)/<digest>-<property>-<job>.json, keyed by job id, and \
+             resume from it when present — a restarted server continues \
+             killed jobs at their last completed refinement.")
+  in
+  let race =
+    Arg.(
+      value & flag
+      & info [ "race" ]
+          ~doc:
+            "Run each job's concretization and refinement re-check as races \
+             over process-isolated engine workers, as in $(b,verify --race).")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
+  let run socket max_sessions max_nodes checkpoint_dir engines race
+      metrics_out chrome_trace profile verbose =
+    setup_logs verbose;
+    match setup_telemetry ~trace_out:chrome_trace ~metrics_out ~profile () with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok () ->
+      with_telemetry ~profile @@ fun () ->
+      let config =
+        config_of
+          ~max_seconds:Rfn.default_config.Rfn.max_seconds
+          ~node_limit:Rfn.default_config.Rfn.node_limit
+          ~max_iterations:Rfn.default_config.Rfn.max_iterations ~engines
+          ~inject:None ~race ~checkpoint:None ~resume:false
+      in
+      let limits =
+        { Rfn_serve.Server.max_sessions = max 1 max_sessions; max_nodes }
+      in
+      let jobs =
+        match socket with
+        | None ->
+          Rfn_serve.Server.run ~limits ~config ?checkpoint_dir
+            ~input:Unix.stdin ~output:stdout ()
+        | Some path ->
+          Rfn_serve.Server.serve_socket ~limits ~config ?checkpoint_dir ~path
+            ()
+      in
+      Format.eprintf "served %d job(s)@." jobs;
+      0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running verification service: accept (design, property, \
+          budget) jobs as JSON Lines over stdio or a Unix socket, group \
+          properties sharing a cone of influence onto warm sessions, and \
+          answer one result line per job (verdict, trace or structured \
+          failure, per-job counters and provenance).")
+    Term.(
+      const run $ socket $ max_sessions $ max_nodes $ checkpoint_dir
+      $ engines_arg $ race $ metrics_out_arg $ trace_out_arg $ profile_arg
+      $ verbose)
+
 (* ---- rfn explain ---------------------------------------------------- *)
 
 let explain_cmd =
@@ -600,7 +695,18 @@ let explain_cmd =
                    match Json.member "ev" j with
                    | Some (Json.Str "rfn.iteration") -> (
                      match Provenance.of_json j with
-                     | Ok p -> records := p :: !records
+                     | Ok p ->
+                       (* server streams stamp each event with its job
+                          id; a single-run file has no "job" field and
+                          groups under "" *)
+                       let job =
+                         match
+                           Option.bind (Json.member "job" j) Json.to_str
+                         with
+                         | Some id -> id
+                         | None -> ""
+                       in
+                       records := (job, p) :: !records
                      | Error field ->
                        incr skipped;
                        Format.eprintf
@@ -625,10 +731,46 @@ let explain_cmd =
          else "");
       1
     | records, skipped ->
-      if json then
-        print_endline
-          (Json.to_string (Json.List (List.map Provenance.to_json records)))
-      else Format.printf "%a" Provenance.pp_story records;
+      (* De-interleave a multi-job server stream: group by job id in
+         first-appearance order, each group narrated on its own. A
+         single-run file (no job ids) keeps the original output. *)
+      let groups =
+        let order = ref [] in
+        let tbl = Hashtbl.create 7 in
+        List.iter
+          (fun (job, p) ->
+            match Hashtbl.find_opt tbl job with
+            | Some ps -> ps := p :: !ps
+            | None ->
+              Hashtbl.add tbl job (ref [ p ]);
+              order := job :: !order)
+          records;
+        List.rev_map
+          (fun job -> (job, List.rev !(Hashtbl.find tbl job)))
+          !order
+      in
+      (match groups with
+      | [ (_, ps) ] ->
+        if json then
+          print_endline
+            (Json.to_string (Json.List (List.map Provenance.to_json ps)))
+        else Format.printf "%a" Provenance.pp_story ps
+      | groups ->
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  (List.map
+                     (fun (job, ps) ->
+                       (job, Json.List (List.map Provenance.to_json ps)))
+                     groups)))
+        else
+          List.iter
+            (fun (job, ps) ->
+              Format.printf "== job %s ==@.%a"
+                (if job = "" then "<unscoped>" else job)
+                Provenance.pp_story ps)
+            groups);
       if skipped > 0 then
         Format.eprintf
           "warning: recovered %d record(s); skipped %d malformed line(s) — \
@@ -641,7 +783,10 @@ let explain_cmd =
        ~doc:
          "Replay the refinement story of a previous run from its \
           --metrics-out file: per-iteration engine choices, abstraction \
-          growth, concretization outcomes and resource use.")
+          growth, concretization outcomes and resource use. A multi-job \
+          $(b,serve) stream is split by job id (one story per job; with \
+          $(b,--json), an object keyed by job id) instead of interleaving \
+          iterations from different jobs.")
     Term.(const run $ metrics $ json)
 
 (* ---- rfn stats ------------------------------------------------------ *)
@@ -688,6 +833,7 @@ let () =
             bmc_cmd;
             lint_cmd;
             simplify_cmd;
+            serve_cmd;
             explain_cmd;
             stats_cmd;
           ]))

@@ -67,6 +67,10 @@ type config = {
   proc : Rfn_proc.Proc.policy;
   checkpoint : string option;
   resume : bool;
+  job_id : string;
+      (* server job identifier, woven into the checkpoint key so two
+         queued jobs on the same (design, property) cannot adopt each
+         other's loop state; "" for stand-alone runs *)
 }
 
 let default_config =
@@ -86,6 +90,7 @@ let default_config =
     proc = Rfn_proc.Proc.policy_of_env ();
     checkpoint = None;
     resume = false;
+    job_id = "";
   }
 
 type iteration = {
@@ -113,18 +118,23 @@ type stats = {
 
 type outcome = Proved | Falsified of Trace.t | Aborted of F.t
 
-let verify ?(config = default_config) circuit prop =
+let prepare ?(config = default_config) circuit ~roots =
+  Session.create ~node_limit:config.node_limit ~policy:config.session circuit
+    ~roots
+
+let verify_in_session ?(config = default_config) session prop =
   let started = Telemetry.now () in
+  let circuit = Session.circuit session in
+  (* (Re)point the session at this property. On a warm session of the
+     same design, carried cone BDDs the two properties share survive
+     verbatim; a fresh session just initializes its abstraction. *)
+  Session.retarget session ~roots:(Property.roots prop);
   let sup =
     Supervisor.start ?inject:config.inject config.supervisor
       ~max_seconds:config.max_seconds
   in
   let bad = prop.Property.bad in
   let coi = Coi.compute circuit ~roots:(Property.roots prop) in
-  let session =
-    Session.create ~node_limit:config.node_limit ~policy:config.session
-      circuit ~roots:(Property.roots prop)
-  in
   let iterations = ref [] in
   let provenance = ref [] in
   let last_trace = ref None in
@@ -155,7 +165,7 @@ let verify ?(config = default_config) circuit prop =
        | Error msg -> fresh msg
        | Ok ck -> (
          match
-           Rfn_proc.Checkpoint.validate ck ~netlist_hash
+           Rfn_proc.Checkpoint.validate ck ~job_id:config.job_id ~netlist_hash
              ~property:prop.Property.name
          with
          | Error msg -> fresh msg
@@ -200,12 +210,13 @@ let verify ?(config = default_config) circuit prop =
           (Bitset.to_list abstraction.Abstraction.regs)
       in
       let ck =
-        Rfn_proc.Checkpoint.make ~netlist_hash ~property:prop.Property.name
-          ~iteration:iter
+        Rfn_proc.Checkpoint.make ~job_id:config.job_id ~netlist_hash
+          ~property:prop.Property.name ~iteration:iter
           ~seconds_used:(Telemetry.now () -. started)
           ~escalation:(Supervisor.escalation sup)
           ~regs
           ~provenance:(List.rev !provenance)
+          ()
       in
       try Rfn_proc.Checkpoint.save file ck
       with Sys_error msg ->
@@ -753,6 +764,10 @@ let verify ?(config = default_config) circuit prop =
   try iterate !start_iter
   with Check_violation failure ->
     finish (Session.abstraction session) (Aborted failure)
+
+let verify ?(config = default_config) circuit prop =
+  let session = prepare ~config circuit ~roots:(Property.roots prop) in
+  verify_in_session ~config session prop
 
 let check_coi_model_checking ?(node_limit = 2_000_000) ?(max_steps = 10_000)
     ?max_seconds circuit prop =

@@ -103,6 +103,11 @@ type config = {
           fresh): the abstraction is re-seeded with the checkpointed
           registers, the escalation factor is restored, and iteration
           numbering continues where the killed run stopped *)
+  job_id : string;
+      (** server job identifier, woven into the checkpoint key
+          ({!Rfn_proc.Checkpoint.make}/[validate]) so two queued jobs
+          on the same (design, property) cannot adopt each other's
+          loop state; [""] (the default) for stand-alone runs *)
 }
 
 val default_config : config
@@ -147,11 +152,33 @@ type outcome =
           which iteration, after how many recovery attempts — render
           with {!Rfn_failure.to_string} *)
 
+val prepare :
+  ?config:config -> Rfn_circuit.Circuit.t -> roots:int list -> Session.t
+(** A persistent session for [circuit], sized by the config's
+    [node_limit] and [session] policy. No BDD work happens yet. The
+    session-scoped half of the API split: create once per design, then
+    run {!verify_in_session} for each property. *)
+
+val verify_in_session :
+  ?config:config ->
+  Session.t ->
+  Rfn_circuit.Property.t ->
+  outcome * stats
+(** Run the four-step loop for one property on an existing session.
+    The session is first retargeted ({!Session.retarget}) to the
+    property's roots: on a warm session of the same design the cone
+    BDDs shared between the previous property's views and this one's
+    initial abstraction are reused verbatim, which is how the serve
+    layer amortizes compilation across a batch. Verdicts never depend
+    on session temperature — only the work to reach them does. *)
+
 val verify :
   ?config:config ->
   Rfn_circuit.Circuit.t ->
   Rfn_circuit.Property.t ->
   outcome * stats
+(** [prepare] + {!verify_in_session} on a fresh session: the original
+    run-once entry point. *)
 
 val check_coi_model_checking :
   ?node_limit:int ->

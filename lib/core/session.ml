@@ -18,6 +18,8 @@ let c_grow_in_place = Telemetry.counter "session.grow_in_place"
 let c_grow_sifted = Telemetry.counter "session.grow_sifted"
 let c_grow_rebuilds = Telemetry.counter "session.grow_rebuilds"
 let c_resets = Telemetry.counter "session.resets"
+let c_retargets = Telemetry.counter "session.retargets"
+let c_retargets_warm = Telemetry.counter "session.retargets_warm"
 let g_nodes_carried = Telemetry.gauge "session.nodes_carried"
 
 type policy = {
@@ -68,6 +70,7 @@ let create ?(node_limit = max_int) ?(policy = default_policy) circuit ~roots =
   }
 
 let abstraction t = t.abstraction
+let circuit t = t.abstraction.Abstraction.circuit
 let policy t = t.policy
 let varmap t = t.vm
 let cone_signals t = Hashtbl.fold (fun s _ acc -> s :: acc) t.memo []
@@ -90,6 +93,48 @@ let reset ?(fresh_order = false) ?node_limit t =
   (match node_limit with Some l -> t.node_limit <- l | None -> ());
   t.seed <- (if fresh_order then None else t.vm);
   forget_manager t
+
+(* Point the session at a different property of the same circuit. With
+   reuse on and a live manager, the varmap is rebased to the new
+   property's initial view (every carried value-now variable is
+   preserved, so the memoized cones of signals the views share stay
+   valid verbatim); memo entries for signals outside the new view are
+   dropped — the cone-cache invariant demands exact coverage — and the
+   cluster cache is rebuilt from scratch (a retarget rarely preserves
+   an entry prefix, and stale clusters would pin dead nodes). In
+   reference mode the session forgets everything including the order
+   seed, so a retargeted run is bit-identical to a cold one. *)
+let retarget t ~roots =
+  Telemetry.incr c_retargets;
+  let abstraction = Abstraction.initial (circuit t) ~roots in
+  t.abstraction <- abstraction;
+  match t.vm with
+  | None -> t.prepared <- None
+  | Some vm when t.policy.reuse ->
+    Telemetry.incr c_retargets_warm;
+    let view = abstraction.Abstraction.view in
+    let vm = Varmap.rebase vm ~view in
+    t.vm <- Some vm;
+    let man = Varmap.man vm in
+    let stale =
+      Hashtbl.fold
+        (fun s f acc -> if Sview.mem view s then acc else (s, f) :: acc)
+        t.memo []
+    in
+    List.iter
+      (fun (s, f) ->
+        Bdd.unprotect man f;
+        Hashtbl.remove t.memo s)
+      stale;
+    Array.iter (Bdd.unprotect man) t.cache.Image.clusters;
+    Image.clear_cache t.cache;
+    (* the next prepare collects the previous property's garbage (the
+       protected carried cones survive) and applies the blow-up policy *)
+    t.grew <- true;
+    t.prepared <- None
+  | Some _ ->
+    t.seed <- None;
+    forget_manager t
 
 let refine t ~add =
   let abstraction, delta = Abstraction.refine_delta t.abstraction ~add in

@@ -73,6 +73,10 @@ val create :
     roots. No BDD work happens until {!prepare}. *)
 
 val abstraction : t -> Rfn_circuit.Abstraction.t
+
+val circuit : t -> Rfn_circuit.Circuit.t
+(** The concrete circuit the session's abstractions are views of. *)
+
 val policy : t -> policy
 
 val varmap : t -> Rfn_mc.Varmap.t option
@@ -106,3 +110,17 @@ val reset : ?fresh_order:bool -> ?node_limit:int -> t -> unit
     ordering; [fresh_order:true] discards it — the supervisor's
     fresh-order retry rung. [node_limit] replaces the session's node
     budget — the node-budget retry rung. *)
+
+val retarget : t -> roots:int list -> unit
+(** Point the session at a different property of the same circuit: the
+    abstraction restarts from {!Rfn_circuit.Abstraction.initial} of the
+    new roots. With [reuse = true] and a live manager, the varmap is
+    rebased ({!Rfn_mc.Varmap.rebase}) so every carried signal keeps its
+    value-now variable and the memoized cones the two views share stay
+    valid verbatim — the cross-property warm-start of the serve layer;
+    memo entries outside the new view and the whole cluster cache are
+    dropped, and the next {!prepare} collects the previous property's
+    garbage under the blow-up policy. With [reuse = false] the session
+    forgets everything including the order seed, making the retargeted
+    run bit-identical to a cold one. Counted as [session.retargets] and
+    (warm path only) [session.retargets_warm]. *)

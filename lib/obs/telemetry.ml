@@ -196,7 +196,18 @@ let histogram_quantile h q =
    which is declared with the span machinery below *)
 let span_depth = ref 0
 
+(* ---- event context --------------------------------------------------- *)
+
+(* Fields appended to every [event] line while set — how server jobs
+   stamp the shared JSONL stream with their job id so a reader (e.g.
+   [rfn explain]) can de-interleave it. *)
+let context_fields : (string * Json.t) list ref = ref []
+
+let set_context fields = context_fields := fields
+let context () = !context_fields
+
 let reset () =
+  context_fields := [];
   Hashtbl.iter (fun _ c -> c.count <- 0) reg.counters;
   Hashtbl.iter
     (fun _ g ->
@@ -220,6 +231,31 @@ let reset () =
   (* reset assumes no spans are open (it is called between runs) *)
   span_depth := 0
 
+(* ---- job scoping ----------------------------------------------------- *)
+
+(* The registry is process-global; a long-running server attributes
+   counters to individual jobs by delta against a snapshot taken when
+   the job starts. Gauge peaks are rebaselined to the current value at
+   snapshot time, so a job's reported peak is its own, not a leftover
+   spike from an earlier job on the same warm session. *)
+
+type scope = { base : (string, int) Hashtbl.t }
+
+let scope () =
+  Hashtbl.iter (fun _ g -> g.peak <- g.value) reg.gauges;
+  let base = Hashtbl.create (Hashtbl.length reg.counters) in
+  Hashtbl.iter (fun name c -> Hashtbl.replace base name c.count) reg.counters;
+  { base }
+
+let scope_delta s =
+  Hashtbl.fold
+    (fun name c acc ->
+      (* a counter registered after the snapshot started from 0 *)
+      let b = Option.value ~default:0 (Hashtbl.find_opt s.base name) in
+      if c.count <> b then (name, c.count - b) :: acc else acc)
+    reg.counters []
+  |> List.sort compare
+
 (* ---- sinks ----------------------------------------------------------- *)
 
 type sink = { oc : out_channel; epoch : float }
@@ -238,6 +274,9 @@ let emit_line fields =
     output_char s.oc '\n'
 
 let event name fields =
+  (* context after the explicit fields: an explicit field of the same
+     name wins for readers that take the first occurrence *)
+  let fields = fields @ !context_fields in
   emit_line (("ev", Json.Str name) :: fields);
   match !trace with
   | None -> ()

@@ -32,10 +32,41 @@ val disable : unit -> unit
 (** Stop recording spans/timers; counters and gauges keep counting. *)
 
 val reset : unit -> unit
-(** Zero every registered metric (histograms included) and clear span
-    aggregates; rewinds the span-depth tracker, so it must be called
-    between runs, never inside an open span. Handles already obtained
-    remain valid (they are zeroed, not dropped). *)
+(** Zero every registered metric (histograms included), clear span
+    aggregates and the event context; rewinds the span-depth tracker,
+    so it must be called between runs, never inside an open span.
+    Handles already obtained remain valid (they are zeroed, not
+    dropped). *)
+
+(* ---- job scoping ----------------------------------------------------- *)
+
+type scope
+(** A snapshot of the process-global counters, taken when a server job
+    starts, so the job's own contribution can be read back as a delta —
+    sequential jobs in one process do not bleed into each other and
+    nothing needs resetting between them. Taking a scope also
+    rebaselines every gauge's peak to its current value, so a job's
+    reported peak is its own, not a leftover spike from an earlier job
+    on the same warm session. *)
+
+val scope : unit -> scope
+
+val scope_delta : scope -> (string * int) list
+(** Counters that moved since the scope was taken, as
+    [(name, delta)] pairs sorted by name; counters registered after the
+    snapshot count from zero. Zero deltas are omitted. *)
+
+(* ---- event context --------------------------------------------------- *)
+
+val set_context : (string * Json.t) list -> unit
+(** Fields appended to every {!event} line until changed — how server
+    jobs stamp the shared JSONL stream with their job id so a reader
+    ([rfn explain]) can de-interleave it. [set_context []] clears;
+    {!reset} clears too. Explicit event fields come first, so a
+    same-named field wins for readers taking the first occurrence. *)
+
+val context : unit -> (string * Json.t) list
+(** The currently set context fields (for save/restore nesting). *)
 
 (* ---- metrics --------------------------------------------------------- *)
 

@@ -5,6 +5,10 @@ type t = {
   version : int;
   netlist_hash : string;
   property : string;
+  job_id : string;
+      (* server job identifier; "" for stand-alone runs. Part of the
+         checkpoint key: two queued jobs on the same (design, property)
+         must not adopt each other's loop state. *)
   iteration : int;
   seconds_used : float;
   escalation : int;
@@ -17,12 +21,13 @@ let current_version = 1
 let hash_circuit circuit =
   Digest.to_hex (Digest.string (Rfn_circuit.Bench_io.to_string circuit))
 
-let make ~netlist_hash ~property ~iteration ~seconds_used ~escalation ~regs
-    ~provenance =
+let make ?(job_id = "") ~netlist_hash ~property ~iteration ~seconds_used
+    ~escalation ~regs ~provenance () =
   {
     version = current_version;
     netlist_hash;
     property;
+    job_id;
     iteration;
     seconds_used;
     escalation;
@@ -36,6 +41,7 @@ let to_json t =
       ("version", Json.Int t.version);
       ("netlist_hash", Json.Str t.netlist_hash);
       ("property", Json.Str t.property);
+      ("job_id", Json.Str t.job_id);
       ("iteration", Json.Int t.iteration);
       ("seconds_used", Json.Float t.seconds_used);
       ("escalation", Json.Int t.escalation);
@@ -91,6 +97,13 @@ let of_json j =
   else
     let* netlist_hash = str "netlist_hash" in
     let* property = str "property" in
+    (* absent in pre-serve checkpoints of the same version: those were
+       all stand-alone runs, whose job id is "" by definition *)
+    let job_id =
+      match Option.bind (Json.member "job_id" j) Json.to_str with
+      | Some s -> s
+      | None -> ""
+    in
     let* iteration = int "iteration" in
     let* seconds_used = flt "seconds_used" in
     let* escalation = int "escalation" in
@@ -119,6 +132,7 @@ let of_json j =
         version;
         netlist_hash;
         property;
+        job_id;
         iteration;
         seconds_used;
         escalation;
@@ -137,7 +151,7 @@ let load file =
     | exception Failure msg -> Error ("malformed checkpoint JSON: " ^ msg)
     | j -> of_json j)
 
-let validate t ~netlist_hash ~property =
+let validate ?(job_id = "") t ~netlist_hash ~property =
   if t.netlist_hash <> netlist_hash then
     Error
       (Printf.sprintf
@@ -146,7 +160,9 @@ let validate t ~netlist_hash ~property =
          t.netlist_hash netlist_hash)
   else if t.property <> property then
     Error
-      (Printf.sprintf
-         "checkpoint was written for property %S, not %S"
+      (Printf.sprintf "checkpoint was written for property %S, not %S"
          t.property property)
+  else if t.job_id <> job_id then
+    Error
+      (Printf.sprintf "checkpoint belongs to job %S, not %S" t.job_id job_id)
   else Ok ()

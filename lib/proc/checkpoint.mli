@@ -18,6 +18,11 @@ type t = {
   version : int;  (** format version; {!current_version} when built here *)
   netlist_hash : string;  (** {!hash_circuit} of the design under proof *)
   property : string;  (** property name the run was verifying *)
+  job_id : string;
+      (** server job identifier, part of the checkpoint key: two queued
+          jobs on the same (design, property) must not adopt each
+          other's loop state. [""] for stand-alone runs, and for
+          checkpoints written before the field existed. *)
   iteration : int;
       (** 1-based index of the next iteration to run: every iteration
           below it completed before the checkpoint was written *)
@@ -39,6 +44,7 @@ val hash_circuit : Rfn_circuit.Circuit.t -> string
     of the same design, different for any structural change. *)
 
 val make :
+  ?job_id:string ->
   netlist_hash:string ->
   property:string ->
   iteration:int ->
@@ -46,8 +52,10 @@ val make :
   escalation:int ->
   regs:string list ->
   provenance:Rfn_obs.Provenance.t list ->
+  unit ->
   t
-(** A {!current_version} checkpoint. *)
+(** A {!current_version} checkpoint. [job_id] defaults to [""]
+    (stand-alone run). *)
 
 val save : string -> t -> unit
 (** Atomically (write temp + rename) persist to [file].
@@ -59,6 +67,11 @@ val load : string -> (t, string) result
     raising. *)
 
 val validate :
-  t -> netlist_hash:string -> property:string -> (unit, string) result
+  ?job_id:string ->
+  t ->
+  netlist_hash:string ->
+  property:string ->
+  (unit, string) result
 (** Check a loaded checkpoint against the run about to resume;
-    [Error] explains the mismatch (hash or property). *)
+    [Error] explains the mismatch (hash, property or job id).
+    [job_id] defaults to [""], matching stand-alone checkpoints. *)

@@ -1,0 +1,59 @@
+module Bitset = Rfn_circuit.Bitset
+
+(* Minimal union-find over array indices, path-halving only: the
+   per-bucket job counts are tiny. *)
+let find parent i =
+  let i = ref i in
+  while parent.(!i) <> !i do
+    parent.(!i) <- parent.(parent.(!i));
+    i := parent.(!i)
+  done;
+  !i
+
+let union parent i j =
+  let ri = find parent i and rj = find parent j in
+  (* root at the smaller index, so a group's representative is its
+     earliest-submitted member — the group-ordering key *)
+  if ri < rj then parent.(rj) <- ri else if rj < ri then parent.(ri) <- rj
+
+let intersects a b =
+  (* iterate the smaller set *)
+  let a, b = if Bitset.cardinal a <= Bitset.cardinal b then (a, b) else (b, a) in
+  List.exists (fun s -> Bitset.mem b s) (Bitset.to_list a)
+
+let plan items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let digest_of i = match items.(i) with _, d, _ -> d in
+  let regs_of i = match items.(i) with _, _, r -> r in
+  let job_of i = match items.(i) with j, _, _ -> j in
+  (* digest buckets, in first-submission order *)
+  let buckets = ref [] in
+  for i = n - 1 downto 0 do
+    let d = digest_of i in
+    match List.assoc_opt d !buckets with
+    | Some members -> members := i :: !members
+    | None -> buckets := (d, ref [ i ]) :: !buckets
+  done;
+  let parent = Array.init n (fun i -> i) in
+  List.iter
+    (fun (_, members) ->
+      let ms = !members in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j ->
+              if i < j && intersects (regs_of i) (regs_of j) then
+                union parent i j)
+            ms)
+        ms)
+    !buckets;
+  (* within a bucket: stable-sort members by group representative (the
+     group's earliest member), ties broken by submission order *)
+  List.concat_map
+    (fun (_, members) ->
+      !members
+      |> List.map (fun i -> (find parent i, i))
+      |> List.sort compare
+      |> List.map (fun (_, i) -> job_of i))
+    !buckets

@@ -1,0 +1,20 @@
+(** Cone-grouping job scheduler.
+
+    Properties of the same design whose cones of influence share
+    registers profit most from a warm session: their initial abstract
+    models overlap, so retargeting carries compiled cone BDDs across.
+    [plan] reorders a submission queue so such jobs run back to back:
+
+    - jobs are bucketed by netlist digest (one pool session each),
+      buckets ordered by each digest's first submission;
+    - within a bucket, jobs are partitioned by the transitive closure
+      of "COI register sets intersect" (a union-find), groups ordered
+      by each group's first submission, members in submission order.
+
+    The closure makes the partition independent of comparison order,
+    so the plan is a deterministic function of the submitted set — the
+    determinism the scheduler tests permute against. *)
+
+val plan : ('a * string * Rfn_circuit.Bitset.t) list -> 'a list
+(** [plan [(job, digest, coi_regs); ...]] in submission order returns
+    the jobs in execution order. *)

@@ -154,7 +154,7 @@ let test_checkpoint_roundtrip () =
     Checkpoint.make ~netlist_hash:"abc123" ~property:"bad" ~iteration:4
       ~seconds_used:1.25 ~escalation:8
       ~regs:[ "cnt_0"; "cnt_1"; "full" ]
-      ~provenance:[ sample_provenance ]
+      ~provenance:[ sample_provenance ] ()
   in
   Checkpoint.save file ck;
   (match Checkpoint.load file with
@@ -169,7 +169,7 @@ let test_checkpoint_roundtrip () =
 let test_checkpoint_validation_rejects () =
   let ck =
     Checkpoint.make ~netlist_hash:"abc123" ~property:"bad" ~iteration:1
-      ~seconds_used:0. ~escalation:1 ~regs:[] ~provenance:[]
+      ~seconds_used:0. ~escalation:1 ~regs:[] ~provenance:[] ()
   in
   let rejected = function Error _ -> true | Ok () -> false in
   Alcotest.(check bool)
@@ -476,7 +476,7 @@ let test_stale_checkpoint_starts_fresh () =
     Checkpoint.make ~netlist_hash:"not-this-design" ~property:"at_limit"
       ~iteration:7 ~seconds_used:0. ~escalation:1
       ~regs:[ "no_such_register" ]
-      ~provenance:[]
+      ~provenance:[] ()
   in
   Checkpoint.save file ck;
   let circuit = Helpers.counter_design ~width:3 ~limit:7 in
