@@ -276,6 +276,86 @@ let serve_batch ~workloads ~cold () =
       ("verdicts_match", Json.Bool verdicts_match);
     ]
 
+(* Scalar-vs-packed ternary simulation on the largest workload of the
+   run: the same pseudo-random pattern set simulated once through the
+   scalar evaluator (one pattern at a time) and once through
+   [Sim3v.Packed] ([lanes] patterns per word), with a lane-0
+   agreement audit. The perf gate enforces the speedup whenever the
+   baseline records this phase. *)
+let sim_phase ~quick ~workloads () =
+  let name, circuit, _ =
+    List.fold_left
+      (fun ((_, bc, _) as best) ((_, c, _) as w) ->
+        if Circuit.num_signals c > Circuit.num_signals bc then w else best)
+      (List.hd workloads) (List.tl workloads)
+  in
+  let view =
+    Sview.whole circuit ~roots:(List.map snd circuit.Circuit.outputs)
+  in
+  let lanes = Sim3v.Packed.lanes in
+  let runs = if quick then 4 else 8 in
+  let cycles = if quick then 16 else 32 in
+  let patterns = runs * lanes in
+  let tern h =
+    match h mod 3 with 0 -> Sim3v.V0 | 1 -> Sim3v.V1 | _ -> Sim3v.VX
+  in
+  let init_at p r = tern (Hashtbl.hash (p, 'r', r)) in
+  let input_at p cycle s = tern (Hashtbl.hash (p, cycle, s)) in
+  let c_words = Telemetry.counter "sim.packed_words" in
+  let w0 = Telemetry.counter_value c_words in
+  let t0 = Unix.gettimeofday () in
+  let pvecs =
+    Array.init runs (fun run ->
+        Sim3v.Packed.run view
+          ~init:(fun r ->
+            Sim3v.Packed.of_fun (fun lane -> init_at ((run * lanes) + lane) r))
+          ~inputs:(fun ~cycle s ->
+            Sim3v.Packed.of_fun (fun lane ->
+                input_at ((run * lanes) + lane) cycle s))
+          ~cycles)
+  in
+  let seconds_packed = Unix.gettimeofday () -. t0 in
+  let packed_words = Telemetry.counter_value c_words - w0 in
+  let sample = ref [||] in
+  let t1 = Unix.gettimeofday () in
+  for p = 0 to patterns - 1 do
+    let frames =
+      Sim3v.run view ~init:(init_at p)
+        ~inputs:(fun ~cycle s -> input_at p cycle s)
+        ~cycles
+    in
+    if p = 0 then sample := frames
+  done;
+  let seconds_scalar = Unix.gettimeofday () -. t1 in
+  let agree = ref true in
+  Array.iteri
+    (fun cyc frame ->
+      Array.iteri
+        (fun s v ->
+          if Sim3v.Packed.read_lane pvecs.(0).(cyc) s ~lane:0 <> v then
+            agree := false)
+        frame)
+    !sample;
+  let speedup =
+    if seconds_packed > 0.0 then seconds_scalar /. seconds_packed
+    else float_of_int patterns
+  in
+  Format.printf
+    "  sim phase (%s): %d pattern(s) x %d cycle(s) — scalar %.3fs, packed \
+     %.3fs (%.1fx, agree %b)@."
+    name patterns cycles seconds_scalar seconds_packed speedup !agree;
+  Json.Obj
+    [
+      ("design", Json.Str name);
+      ("patterns", Json.Int patterns);
+      ("cycles", Json.Int cycles);
+      ("seconds_scalar", Json.Float seconds_scalar);
+      ("seconds_packed", Json.Float seconds_packed);
+      ("speedup", Json.Float speedup);
+      ("packed_words", Json.Int packed_words);
+      ("agree", Json.Bool !agree);
+    ]
+
 let bench_json ~quick () =
   section "JSON summary (BENCH_rfn.json)";
   let workloads =
@@ -303,6 +383,13 @@ let bench_json ~quick () =
   in
   let g_nodes = Telemetry.gauge "bdd.live_nodes" in
   let c_backtracks = Telemetry.counter "atpg.backtracks" in
+  let c_packed_words = Telemetry.counter "sim.packed_words" in
+  let atpg_counters =
+    List.map
+      (fun name -> (name, Telemetry.counter ("atpg." ^ name)))
+      [ "scoap_cache_hits"; "scoap_cache_misses"; "random_sat";
+        "random_rounds" ]
+  in
   let h_image = Telemetry.histogram "mc.image_seconds" in
   let sat_counters =
     List.map
@@ -380,6 +467,17 @@ let bench_json ~quick () =
             ("peak_bdd_nodes", Json.Int (Telemetry.gauge_peak g_nodes));
             ( "atpg_backtracks",
               Json.Int (Telemetry.counter_value c_backtracks) );
+            ( "sim",
+              Json.Obj
+                [
+                  ( "packed_words",
+                    Json.Int (Telemetry.counter_value c_packed_words) );
+                ] );
+            ( "atpg",
+              Json.Obj
+                (List.map
+                   (fun (n, c) -> (n, Json.Int (Telemetry.counter_value c)))
+                   atpg_counters) );
             ("provenance", Json.Int (List.length stats.Rfn.provenance));
             ( "hist",
               Json.Obj
@@ -454,6 +552,7 @@ let bench_json ~quick () =
       workloads
   in
   let serve = serve_batch ~workloads ~cold:(List.rev !cold) () in
+  let sim = sim_phase ~quick ~workloads () in
   if not was_enabled then Telemetry.disable ();
   let summary =
     Json.Obj
@@ -462,6 +561,7 @@ let bench_json ~quick () =
         ("quick", Json.Bool quick);
         ("designs", Json.List rows);
         ("serve", serve);
+        ("sim", sim);
       ]
   in
   let oc = open_out "BENCH_rfn.json" in
@@ -483,6 +583,12 @@ let bench_json ~quick () =
      peak_bdd_nodes    <= max(baseline * 3,  20_000)
      atpg_backtracks   <= max(baseline * 5,  10_000)
      seconds           <= max(baseline * 25, 2.0)
+
+   When the baseline records a packed-simulation phase (a top-level
+   "sim" object), the current run must keep the bit-parallel win:
+   speedup >= 8x over the scalar evaluator, with the lane-0 agreement
+   audit green — that one is a hard floor, not a band, because losing
+   it means the packed evaluator stopped paying for itself.
 
    plus an internal-consistency check that every iteration produced a
    provenance record. Regenerates a quick BENCH_rfn.json when none is
@@ -561,6 +667,18 @@ let perf_check ~baseline_file () =
           | None, _ -> fail "%s: current run lacks provenance count" name
           | _ -> ())
       baseline;
+    (match (Json.member "sim" base, Json.member "sim" cur) with
+    | Some _, None -> fail "sim: phase missing from current BENCH_rfn.json"
+    | Some _, Some s ->
+      (match Option.bind (Json.member "speedup" s) Json.to_float with
+      | Some sp when sp < 8.0 ->
+        fail "sim: packed speedup %.2fx below the required 8x" sp
+      | Some _ -> ()
+      | None -> fail "sim: current run lacks speedup");
+      (match Json.member "agree" s with
+      | Some (Json.Bool true) -> ()
+      | _ -> fail "sim: packed and scalar evaluators disagree")
+    | None, _ -> ());
     (match List.rev !violations with
     | [] ->
       Format.printf "perf gate: OK — %d design(s) within tolerance@."

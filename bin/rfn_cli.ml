@@ -1,5 +1,7 @@
 (* rfn — command-line front end: verify unreachability properties or
-   run coverage analysis on ".bench"-style netlist files. *)
+   run coverage analysis on netlist files. Netlists load through
+   [Netlist_io]: ".aig" is binary AIGER, ".aag" ascii AIGER, anything
+   else ISCAS ".bench". *)
 
 open Cmdliner
 open Rfn_circuit
@@ -13,7 +15,7 @@ let setup_logs verbose =
   Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
 
 let load path =
-  try Ok (Bench_io.parse_file path) with
+  try Ok (Netlist_io.load path) with
   | Failure msg -> Error msg
   | Sys_error msg -> Error msg
 
@@ -208,7 +210,7 @@ let verify_cmd =
       1
     | Ok circuit -> (
       match Property.of_output circuit prop with
-      | exception Not_found ->
+      | exception Invalid_argument _ ->
         Format.eprintf "error: no output named %S@." prop;
         1
       | property when not (preflight ~enabled:lint circuit [ property ]) -> 1
@@ -388,7 +390,7 @@ let bmc_cmd =
       1
     | Ok circuit -> (
       match Circuit.output circuit prop with
-      | exception Not_found ->
+      | exception Invalid_argument _ ->
         Format.eprintf "error: no output named %S@." prop;
         1
       | bad
@@ -483,7 +485,7 @@ let lint_cmd =
         | names -> names
       in
       match List.map (Property.of_output circuit) names with
-      | exception Not_found ->
+      | exception Invalid_argument _ ->
         Format.eprintf "error: unknown output among %s@."
           (String.concat ", " names);
         1
@@ -538,9 +540,10 @@ let simplify_cmd =
         report.Opt.constants_folded;
       (match out with
       | Some file ->
-        let oc = open_out file in
-        output_string oc (Bench_io.to_string circuit');
-        close_out oc
+        (* the extension picks the writer, so `simplify -o x.aig`
+           converts between front-end formats as a side effect *)
+        Netlist_io.save ~bads:(List.map fst circuit'.Circuit.outputs) file
+          circuit'
       | None -> print_string (Bench_io.to_string circuit'));
       0
   in

@@ -1,0 +1,32 @@
+(** AIGER front-end: ascii ([.aag]) and binary ([.aig]) and-inverter
+    graphs, read into and written from {!Circuit.t}.
+
+    The reader supports both formats (dispatching on the header magic),
+    AIGER 1.9 bad-state properties ([B] section), and the three latch
+    reset forms: 0 ([`Zero]), 1 ([`One]) and the latch's own literal
+    ([`Free], i.e. uninitialised). Invariant-constraint, justice and
+    fairness sections are rejected with an explicit error.
+
+    Bad-state properties become ordinary declared outputs — named from
+    the symbol table when present, else [b<k>] — so properties load
+    through {!Property.of_output} exactly like `.bench` outputs (plain
+    outputs default to [o<k>], inputs to [i<k>], latches to [l<k>]).
+
+    Parse errors raise [Failure] with messages of the form
+    ["Aiger_io: line <n>: ..."], or ["Aiger_io: byte <n>: ..."] inside
+    a binary AND section — the same discipline as {!Bench_io}. *)
+
+val parse : string -> Circuit.t
+(** Parse AIGER text (either format; the header decides). *)
+
+val parse_file : string -> Circuit.t
+
+val to_string : ?binary:bool -> ?bads:string list -> Circuit.t -> string
+(** Serialise a circuit as AIGER, lowering arbitrary gates to a
+    structurally-hashed and-inverter graph. [bads] names the declared
+    outputs to emit as bad-state properties ([B] section); all other
+    outputs go to the [O] section. Default ascii, no bad section. *)
+
+val write_file : ?binary:bool -> ?bads:string list -> string -> Circuit.t -> unit
+(** [write_file path c] writes [to_string c] to [path]; when [binary]
+    is omitted it is inferred from a [.aig] extension. *)

@@ -38,7 +38,16 @@ let find t nm =
   in
   loop 0
 
-let output t nm = List.assoc nm t.outputs
+let output_opt t nm = List.assoc_opt nm t.outputs
+
+let output t nm =
+  match output_opt t nm with
+  | Some s -> s
+  | None ->
+    (* Invalid_argument naming the output, per the Varmap diagnostic
+       convention; a bare List.assoc raised an anonymous Not_found that
+       crashed callers as far away as the serve loop. *)
+    invalid_arg (Printf.sprintf "Circuit.output: no output %S" nm)
 let is_reg t s = match t.nodes.(s) with Reg _ -> true | _ -> false
 let is_input t s = match t.nodes.(s) with Input -> true | _ -> false
 

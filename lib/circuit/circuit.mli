@@ -52,7 +52,10 @@ val find : t -> string -> int
 (** Look up a signal by name. Raises [Not_found]. *)
 
 val output : t -> string -> int
-(** Look up a declared output by name. Raises [Not_found]. *)
+(** Look up a declared output by name. Raises [Invalid_argument]
+    naming the output when it is not declared. *)
+
+val output_opt : t -> string -> int option
 
 val is_reg : t -> int -> bool
 val is_input : t -> int -> bool

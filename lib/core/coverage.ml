@@ -84,31 +84,32 @@ let mark_reachable circuit ~coverage ~status trace =
   let view = Sview.whole circuit ~roots:[] in
   let k = Trace.length trace in
   let init r =
-    match Circuit.node circuit r with
-    | Circuit.Reg { init = `Zero; _ } -> Sim3v.V0
-    | Circuit.Reg { init = `One; _ } -> Sim3v.V1
-    | Circuit.Reg { init = `Free; _ } -> (
-      match Cube.value (Trace.state trace 0) r with
-      | Some b -> Sim3v.of_bool b
-      | None -> Sim3v.V0)
-    | _ -> Sim3v.VX
+    Sim3v.Packed.splat
+      (match Circuit.node circuit r with
+      | Circuit.Reg { init = `Zero; _ } -> Sim3v.V0
+      | Circuit.Reg { init = `One; _ } -> Sim3v.V1
+      | Circuit.Reg { init = `Free; _ } -> (
+        match Cube.value (Trace.state trace 0) r with
+        | Some b -> Sim3v.of_bool b
+        | None -> Sim3v.V0)
+      | _ -> Sim3v.VX)
   in
   let inputs ~cycle s =
-    if cycle < k then
-      match Cube.value (Trace.input trace cycle) s with
-      | Some b -> Sim3v.of_bool b
-      | None -> Sim3v.V0
-    else Sim3v.V0
+    Sim3v.Packed.splat
+      (if cycle < k then
+         match Cube.value (Trace.input trace cycle) s with
+         | Some b -> Sim3v.of_bool b
+         | None -> Sim3v.V0
+       else Sim3v.V0)
   in
-  let frames = Sim3v.run view ~init ~inputs ~cycles:(k - 1) in
+  let frames = Sim3v.Packed.run view ~init ~inputs ~cycles:(k - 1) in
   let marked = ref 0 in
   Array.iter
-    (fun values ->
-      let concrete = List.for_all (fun s -> values.(s) <> Sim3v.VX) coverage in
+    (fun vec ->
+      let value s = Sim3v.Packed.read_lane vec s ~lane:0 in
+      let concrete = List.for_all (fun s -> value s <> Sim3v.VX) coverage in
       if concrete then begin
-        let code =
-          state_code ~coverage (fun s -> values.(s) = Sim3v.V1)
-        in
+        let code = state_code ~coverage (fun s -> value s = Sim3v.V1) in
         if status.(code) = Unknown then begin
           status.(code) <- Reachable;
           incr marked

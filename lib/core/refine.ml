@@ -31,26 +31,32 @@ let simulation_candidates abstraction ~abstract_trace =
       candidates := r :: !candidates
     end
   in
+  (* The replay runs single-pattern through the packed evaluator
+     (lane 0): on whole-design views this loop dominates refinement
+     time and the word-wide kernel is branch-free per gate. *)
   let state_of j fallback r =
     match trace_value j r with
-    | Some b -> Sim3v.of_bool b
+    | Some b -> Sim3v.Packed.splat (Sim3v.of_bool b)
     | None -> fallback r
   in
-  let state = ref (state_of 0 (fun _ -> Sim3v.VX)) in
+  let state = ref (state_of 0 (fun _ -> Sim3v.Packed.splat Sim3v.VX)) in
   for j = 0 to k - 2 do
     let free s =
-      if Circuit.is_input c s then
-        match Cube.value (Trace.input abstract_trace j) s with
-        | Some b -> Sim3v.of_bool b
-        | None -> Sim3v.VX
-      else Sim3v.VX
+      Sim3v.Packed.splat
+        (if Circuit.is_input c s then
+           match Cube.value (Trace.input abstract_trace j) s with
+           | Some b -> Sim3v.of_bool b
+           | None -> Sim3v.VX
+         else Sim3v.VX)
     in
-    let _, next = Sim3v.step view ~free ~state:!state in
+    let _, next = Sim3v.Packed.step view ~free ~state:!state in
     (* Compare the simulated next state against cycle j+1 of the trace. *)
     Array.iter
       (fun r ->
         match trace_value (j + 1) r with
-        | Some b -> if Sim3v.conflicts (next r) (Sim3v.of_bool b) then record r
+        | Some b ->
+          if Sim3v.conflicts (Sim3v.Packed.get (next r) 0) (Sim3v.of_bool b)
+          then record r
         | None -> ())
       c.Circuit.registers;
     state := state_of (j + 1) next

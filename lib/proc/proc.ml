@@ -91,22 +91,35 @@ let next_tid =
 
 (* Resident set in MiB from /proc/self/statm (second field, pages).
    OCaml's Unix has no sysconf; every platform this runs on uses 4 KiB
-   pages. Returns 0 where /proc is missing — the cap then never
-   fires, which only loses the OOM guard, not correctness. *)
-let rss_mb_self () =
-  match open_in "/proc/self/statm" with
-  | exception Sys_error _ -> 0
+   pages. Returns 0 whenever /proc is missing, truncated, or
+   unreadable — "RSS unknown", counted in [proc.rss_unknown]. The
+   watchdog compares [rss > max_rss_mb], so 0 disables the cap: an
+   unreadable procfs only loses the OOM guard, never crashes the
+   heartbeat that reads it. *)
+let c_rss_unknown = Telemetry.counter "proc.rss_unknown"
+
+let rss_mb_of_file path =
+  let unknown () =
+    Telemetry.incr c_rss_unknown;
+    0
+  in
+  match open_in path with
+  | exception Sys_error _ -> unknown ()
   | ic ->
     let rss =
+      (* [input_line] itself can raise Sys_error on a procfs read
+         error, not just End_of_file — guard both. *)
       match String.split_on_char ' ' (input_line ic) with
       | _ :: resident :: _ ->
         (match int_of_string_opt resident with
         | Some pages -> pages * 4096 / (1024 * 1024)
-        | None -> 0)
-      | _ | (exception End_of_file) -> 0
+        | None -> unknown ())
+      | _ | (exception End_of_file) | (exception Sys_error _) -> unknown ()
     in
     close_in_noerr ic;
     rss
+
+let rss_mb_self () = rss_mb_of_file "/proc/self/statm"
 
 (* One full line per call. The child owns its pipe end exclusively, so
    partial writes cannot interleave with another process; the only

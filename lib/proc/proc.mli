@@ -71,6 +71,15 @@ val available : unit -> bool
     to running its entrants sequentially in-process — same answers,
     no isolation. *)
 
+val rss_mb_of_file : string -> int
+(** Resident-set size in MiB parsed from a [/proc/<pid>/statm]-format
+    file. Returns 0 — "RSS unknown" — whenever the file is missing,
+    truncated, unreadable mid-line, or malformed, bumping the
+    [proc.rss_unknown] counter; the watchdog compares [rss >
+    max_rss_mb], so 0 disables the memory cap rather than killing the
+    heartbeat that samples it. Exposed (with the path as a parameter)
+    so the degraded paths are testable without a broken procfs. *)
+
 (* ---- fault injection --------------------------------------------------- *)
 
 type worker_fault =

@@ -106,21 +106,31 @@ let resolve_design st design =
     | Protocol.File path -> "file:" ^ path
     | Protocol.Netlist text -> "inline:" ^ Digest.to_hex (Digest.string text)
   in
-  let digest =
-    match Hashtbl.find_opt st.sources key with
-    | Some d -> d
-    | None ->
-      let circuit =
-        match design with
-        | Protocol.File path -> Bench_io.parse_file path
-        | Protocol.Netlist text -> Bench_io.parse text
-      in
-      let d = Checkpoint.hash_circuit circuit in
-      if not (Hashtbl.mem st.circuits d) then Hashtbl.add st.circuits d circuit;
-      Hashtbl.add st.sources key d;
-      d
+  let parse () =
+    match design with
+    | Protocol.File path -> Netlist_io.load path
+    | Protocol.Netlist text ->
+      (* Inline text carries no extension; sniff the AIGER magic so
+         clients can inline `.aag`/`.aig` designs too. *)
+      if
+        String.length text >= 4
+        && (String.sub text 0 4 = "aag " || String.sub text 0 4 = "aig ")
+      then Aiger_io.parse text
+      else Bench_io.parse text
   in
-  (digest, Hashtbl.find st.circuits digest)
+  match Hashtbl.find_opt st.sources key with
+  | Some digest when Hashtbl.mem st.circuits digest ->
+    (digest, Hashtbl.find st.circuits digest)
+  | stale ->
+    (* Cache miss — or a source mapping whose circuit entry is gone
+       (a bare Hashtbl.find here used to raise Not_found and kill the
+       whole serve loop). Re-parse and self-heal the mapping. *)
+    let circuit = parse () in
+    let d = Checkpoint.hash_circuit circuit in
+    if not (Hashtbl.mem st.circuits d) then Hashtbl.add st.circuits d circuit;
+    if stale <> None then Hashtbl.remove st.sources key;
+    Hashtbl.add st.sources key d;
+    (d, circuit)
 
 let submit st (s : Protocol.submit) =
   if Hashtbl.mem st.states s.id then
@@ -135,7 +145,7 @@ let submit st (s : Protocol.submit) =
     with
     | exception Sys_error msg -> emit st (error_event ~id:s.id msg)
     | exception Failure msg -> emit st (error_event ~id:s.id msg)
-    | exception Not_found ->
+    | exception Invalid_argument _ ->
       emit st
         (error_event ~id:s.id
            (Printf.sprintf "no output %S in this design" s.property))
@@ -149,20 +159,29 @@ let submit st (s : Protocol.submit) =
 (* ---- status / cancel ------------------------------------------------- *)
 
 let status st id =
-  let ids =
-    match id with
-    | None -> st.order
-    | Some i -> List.filter (String.equal i) st.order
+  (* An unknown id answers with a structured error line instead of an
+     empty job list (and [Hashtbl.find_opt] instead of a bare find, so
+     a state-table gap can never raise out of the serve loop). *)
+  let state_of i =
+    Option.value ~default:"unknown" (Hashtbl.find_opt st.states i)
   in
-  let jobs =
-    List.map
-      (fun i ->
-        Json.Obj
-          [ ("id", Json.Str i);
-            ("state", Json.Str (Hashtbl.find st.states i)) ])
-      ids
-  in
-  emit st (Json.Obj [ ("ev", Json.Str "status"); ("jobs", Json.List jobs) ])
+  match id with
+  | Some i when not (Hashtbl.mem st.states i) ->
+    emit st (error_event ~id:i (Printf.sprintf "unknown job id %S" i))
+  | _ ->
+    let ids =
+      match id with
+      | None -> st.order
+      | Some i -> List.filter (String.equal i) st.order
+    in
+    let jobs =
+      List.map
+        (fun i ->
+          Json.Obj
+            [ ("id", Json.Str i); ("state", Json.Str (state_of i)) ])
+        ids
+    in
+    emit st (Json.Obj [ ("ev", Json.Str "status"); ("jobs", Json.List jobs) ])
 
 let cancel st id =
   match Hashtbl.find_opt st.states id with

@@ -36,6 +36,60 @@ val step :
 (** One clock cycle: combinational values plus next state. The next
     state of a register is the value of its next-state input. *)
 
+(** Bit-parallel packed ternary simulation: {!Packed.lanes} independent
+    ternary patterns per word, in two planes ([ones] / [unks]; a lane
+    clear in both planes holds 0), evaluated with word-wide logic ops.
+    Lanes fill the native int ([Sys.int_size] = 63 bits on 64-bit
+    hosts) so no per-gate boxing or masking occurs. Semantics are
+    lane-wise identical to the scalar evaluator above, which remains
+    the differential oracle. *)
+module Packed : sig
+  val lanes : int
+
+  type w = { ones : int; unks : int }
+  (** Invariant: [ones land unks = 0]. *)
+
+  val zero : w
+  (** All lanes 0. *)
+
+  val splat : v -> w
+  (** The same value in every lane. *)
+
+  val get : w -> int -> v
+  val set : w -> int -> v -> w
+
+  val of_fun : (int -> v) -> w
+  (** [of_fun f] has lane [i] holding [f i]. *)
+
+  val eval_gate : Rfn_circuit.Gate.kind -> (int -> w) -> int array -> w
+  (** Lane-wise {!Sim3v.eval_gate}. *)
+
+  type vec = { vones : int array; vunks : int array }
+  (** Per-signal planes of one combinational evaluation. *)
+
+  val read : vec -> int -> w
+  val read_lane : vec -> int -> lane:int -> v
+
+  val eval :
+    Rfn_circuit.Sview.t -> free:(int -> w) -> state:(int -> w) -> vec
+  (** Packed {!Sim3v.eval}: signals outside the view read as X in all
+      lanes. Bumps the [sim.packed_words] telemetry counter by the
+      number of word evaluations. *)
+
+  val step :
+    Rfn_circuit.Sview.t ->
+    free:(int -> w) ->
+    state:(int -> w) ->
+    vec * (int -> w)
+
+  val run :
+    Rfn_circuit.Sview.t ->
+    init:(int -> w) ->
+    inputs:(cycle:int -> int -> w) ->
+    cycles:int ->
+    vec array
+end
+
 (** Replaying traces on a design. *)
 
 val run :

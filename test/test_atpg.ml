@@ -1,4 +1,6 @@
 open Rfn_circuit
+module B = Circuit.Builder
+module Telemetry = Rfn_obs.Telemetry
 module Atpg = Rfn_atpg.Atpg
 module Sim3v = Rfn_sim3v.Sim3v
 module Bdd = Rfn_bdd.Bdd
@@ -212,10 +214,69 @@ let test_free_init_explores_states () =
     Alcotest.(check int) "counter justified to 5" 5 cnt_val
   | _ -> Alcotest.fail "expected Sat with free initial state"
 
+(* ---- SCOAP controllability cache ----------------------------------- *)
+
+let test_scoap_cache () =
+  let c = Helpers.counter_design ~width:4 ~limit:9 in
+  let bad = Circuit.output c "at_limit" in
+  let view = Sview.whole c ~roots:[ bad ] in
+  let hits = Telemetry.counter "atpg.scoap_cache_hits" in
+  let misses = Telemetry.counter "atpg.scoap_cache_misses" in
+  let h0 = Telemetry.counter_value hits
+  and m0 = Telemetry.counter_value misses in
+  ignore (Atpg.solve view ~frames:2 ~pins:[ (1, bad, true) ] ());
+  let m1 = Telemetry.counter_value misses in
+  Alcotest.(check bool) "first solve misses the cache" true (m1 > m0);
+  ignore (Atpg.solve view ~frames:3 ~pins:[ (2, bad, true) ] ());
+  Alcotest.(check bool)
+    "same-shape view hits the cache" true
+    (Telemetry.counter_value hits > h0);
+  Alcotest.(check int)
+    "no extra miss for a cached shape" m1
+    (Telemetry.counter_value misses)
+
+(* ---- random-pattern pre-pass ---------------------------------------- *)
+
+let test_random_phase () =
+  (* bad = i0 OR i1: a random lane almost surely satisfies it, so the
+     pre-pass answers without a single branch decision *)
+  let b = B.create () in
+  let i0 = B.input b "i0" and i1 = B.input b "i1" in
+  B.output b "bad" (B.or2 b i0 i1);
+  let c = B.finalize b in
+  let bad = Circuit.output c "bad" in
+  let view = Sview.whole c ~roots:[ bad ] in
+  let c_rsat = Telemetry.counter "atpg.random_sat" in
+  let r0 = Telemetry.counter_value c_rsat in
+  (match Atpg.solve view ~frames:1 ~pins:[ (0, bad, true) ] () with
+  | Atpg.Sat t, stats ->
+    Alcotest.(check int) "no decisions needed" 0 stats.Atpg.decisions;
+    Alcotest.(check bool)
+      "found by the random phase" true
+      (Telemetry.counter_value c_rsat > r0);
+    (* the packed lane is a genuine witness *)
+    let assign s = Cube.value (Trace.input t 0) s = Some true in
+    let values = Circuit.eval c ~input:assign ~state:assign in
+    Alcotest.(check bool) "witness drives bad" true values.(bad)
+  | (Atpg.Unsat | Atpg.Abort _), _ ->
+    Alcotest.fail "or-of-inputs should be satisfiable");
+  (* with the pre-pass off the search must still conclude, and Unsat
+     objectives are never misreported by random lanes *)
+  (match Atpg.solve ~random_phase:false view ~frames:1 ~pins:[ (0, bad, true) ] () with
+  | Atpg.Sat _, _ -> ()
+  | _ -> Alcotest.fail "search alone should also satisfy");
+  match
+    Atpg.solve view ~frames:1 ~pins:[ (0, i0, true); (0, bad, false) ] ()
+  with
+  | Atpg.Unsat, _ -> ()
+  | _ -> Alcotest.fail "pinned-true input forces bad: must be Unsat"
+
 let tests =
   [
     comb_vs_bdd;
     seq_vs_explicit;
+    Alcotest.test_case "scoap cache" `Quick test_scoap_cache;
+    Alcotest.test_case "random-pattern phase" `Quick test_random_phase;
     Alcotest.test_case "pins on free inputs" `Quick test_pin_on_free_input;
     Alcotest.test_case "contradictory pins" `Quick test_contradictory_root_pins;
     Alcotest.test_case "frame-0 objectives" `Quick

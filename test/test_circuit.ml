@@ -238,6 +238,27 @@ let test_rtl_shift_reg () =
   let v = Array.map (fun s -> !state s) q in
   Alcotest.(check (array bool)) "newest first" [| true; false; true |] v
 
+(* Regression: [Circuit.output] on an unknown name used to leak a bare
+   [Not_found] from [List.assoc]; it must name the missing output, and
+   [output_opt] gives the total variant. *)
+let test_output_lookup () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  B.output b "good" x;
+  let c = B.finalize b in
+  Alcotest.(check int) "known output" x (Circuit.output c "good");
+  Alcotest.(check (option int))
+    "output_opt on a known name" (Some x)
+    (Circuit.output_opt c "good");
+  Alcotest.(check (option int))
+    "output_opt on an unknown name" None
+    (Circuit.output_opt c "nope");
+  match Circuit.output c "nope" with
+  | (_ : int) -> Alcotest.fail "unknown output should raise"
+  | exception Invalid_argument msg ->
+    Alcotest.(check string)
+      "the error names the output" "Circuit.output: no output \"nope\"" msg
+
 let tests =
   [
     Alcotest.test_case "builder basics" `Quick test_builder_basics;
@@ -252,6 +273,7 @@ let tests =
     Alcotest.test_case "topological order" `Quick test_topological_order;
     Alcotest.test_case "fanout map" `Quick test_fanouts;
     Alcotest.test_case "eval and step" `Quick test_eval_step;
+    Alcotest.test_case "output lookup" `Quick test_output_lookup;
     Alcotest.test_case "all gate kinds" `Quick test_all_gate_kinds_eval;
     rtl_arith_test;
     Alcotest.test_case "rtl counter" `Quick test_rtl_counter;

@@ -531,8 +531,46 @@ let test_no_fork_verdict_unchanged () =
       (Sim3v.replay_concrete circuit t ~bad:prop.Property.bad)
   | _ -> Alcotest.fail "deep_bug3/bad should be falsified without fork"
 
+(* Regression: the RSS sampler used to let [input_line] exceptions
+   escape into the heartbeat (reading a directory raises [Sys_error],
+   not [End_of_file]); every degraded path must answer 0 — "RSS
+   unknown", disabling the memory cap — and bump [proc.rss_unknown]. *)
+let test_rss_degraded_paths () =
+  let c_unknown = Telemetry.counter "proc.rss_unknown" in
+  let check name path =
+    let before = Telemetry.counter_value c_unknown in
+    Alcotest.(check int) (name ^ " reads as unknown") 0
+      (Proc.rss_mb_of_file path);
+    Alcotest.(check int)
+      (name ^ " bumps proc.rss_unknown")
+      (before + 1)
+      (Telemetry.counter_value c_unknown)
+  in
+  check "missing file" "/nonexistent/statm";
+  (* a directory opens fine but raises Sys_error on the first read *)
+  check "unreadable stream" (Filename.get_temp_dir_name ());
+  let truncated = Filename.temp_file "rfn_statm" ".txt" in
+  check "empty file" truncated;
+  let oc = open_out truncated in
+  output_string oc "12345 not-a-number 7\n";
+  close_out oc;
+  check "malformed field" truncated;
+  Sys.remove truncated;
+  (* the real procfs still reads as a sane value *)
+  if Sys.file_exists "/proc/self/statm" then begin
+    let before = Telemetry.counter_value c_unknown in
+    Alcotest.(check bool)
+      "live statm parses" true
+      (Proc.rss_mb_of_file "/proc/self/statm" >= 0);
+    Alcotest.(check int)
+      "live statm is not unknown" before
+      (Telemetry.counter_value c_unknown)
+  end
+
 let tests =
   [
+    Alcotest.test_case "RSS sampler never raises" `Quick
+      test_rss_degraded_paths;
     Alcotest.test_case "cube codec round-trips" `Quick test_cube_roundtrip;
     Alcotest.test_case "cube decoder is total" `Quick test_cube_decoder_total;
     Alcotest.test_case "trace codec round-trips" `Quick test_trace_roundtrip;

@@ -359,6 +359,65 @@ let test_server_cancel () =
     "surviving job got a real verdict" true
     (verdict_of "j1" <> "missing" && verdict_of "j1" <> "cancelled")
 
+(* Regression: a status query naming an id the server has never seen
+   used to hit a bare [Hashtbl.find] and kill the whole serve loop
+   with [Not_found]; it must answer with a protocol error event and
+   keep serving. *)
+let test_status_unknown_id () =
+  let completed, events =
+    run_server
+      [
+        {|{"op":"status","id":"nope"}|};
+        submit_line "j1" (fst (counter_prop ())) "at_limit";
+        {|{"op":"shutdown"}|};
+      ]
+  in
+  Alcotest.(check int) "the loop survived and ran the later job" 1 completed;
+  let errors = List.filter (fun j -> ev j = "error") events in
+  Alcotest.(check (list string))
+    "unknown id answered with an error event" [ "nope" ]
+    (List.map sid errors)
+
+(* AIGER designs through the server: a [File] submission dispatched on
+   the extension and an inline netlist sniffed by its magic. *)
+let test_server_aiger_design () =
+  let path =
+    List.find Sys.file_exists
+      [ "../examples/passing_token.aag"; "examples/passing_token.aag" ]
+  in
+  let text =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let submit id design =
+    Json.to_string
+      (Protocol.submit_to_json
+         { Protocol.id; design; property = "both_high";
+           budget = Protocol.no_budget })
+  in
+  let completed, events =
+    run_server
+      [
+        submit "from-file" (Protocol.File path);
+        submit "inline" (Protocol.Netlist text);
+        {|{"op":"shutdown"}|};
+      ]
+  in
+  Alcotest.(check int) "both AIGER jobs completed" 2 completed;
+  let results = List.filter (fun j -> ev j = "result") events in
+  List.iter
+    (fun id ->
+      match List.find_opt (fun j -> sid j = id) results with
+      | None -> Alcotest.fail (id ^ ": no result line")
+      | Some r ->
+        Alcotest.(check string)
+          (id ^ ": token hand-off proved")
+          "proved"
+          (Option.value ~default:"?" (str "verdict" r)))
+    [ "from-file"; "inline" ]
+
 (* ---- batch vs cold differential on the zoo -------------------------- *)
 
 let zoo () =
@@ -476,6 +535,8 @@ let () =
         [
           Alcotest.test_case "batch-loop" `Quick test_server_batch;
           Alcotest.test_case "cancel" `Quick test_server_cancel;
+          Alcotest.test_case "status-unknown-id" `Quick test_status_unknown_id;
+          Alcotest.test_case "aiger-designs" `Quick test_server_aiger_design;
           Alcotest.test_case "batch-matches-cold" `Slow
             test_batch_matches_cold;
         ] );

@@ -132,6 +132,113 @@ let test_replay_concrete () =
   Alcotest.(check bool) "no enable, no violation" false
     (Sim3v.replay_concrete c bad_trace ~bad)
 
+(* ---- packed (bit-parallel) simulation ------------------------------- *)
+
+module Packed = Sim3v.Packed
+module Telemetry = Rfn_obs.Telemetry
+
+let tern h =
+  match h mod 3 with 0 -> Sim3v.V0 | 1 -> Sim3v.V1 | _ -> Sim3v.VX
+
+let test_packed_words () =
+  (* get/set/splat/of_fun agree and preserve the plane invariant *)
+  let w = Packed.of_fun (fun lane -> tern lane) in
+  Alcotest.(check int) "planes disjoint" 0 (w.Packed.ones land w.Packed.unks);
+  for lane = 0 to Packed.lanes - 1 do
+    Alcotest.check tv
+      (Printf.sprintf "of_fun lane %d" lane)
+      (tern lane) (Packed.get w lane)
+  done;
+  List.iter
+    (fun v ->
+      let s = Packed.splat v in
+      Alcotest.check tv "splat lane 0" v (Packed.get s 0);
+      Alcotest.check tv "splat last lane" v (Packed.get s (Packed.lanes - 1));
+      let w' = Packed.set w 7 v in
+      Alcotest.check tv "set lane 7" v (Packed.get w' 7);
+      Alcotest.check tv "set leaves lane 8" (tern 8) (Packed.get w' 8))
+    [ Sim3v.V0; Sim3v.V1; Sim3v.VX ]
+
+(* Lane-wise differential against the scalar evaluator on random
+   circuits, every lane carrying an independent random ternary
+   assignment. The scalar evaluator is the oracle. *)
+let packed_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"packed sim = scalar sim on every lane"
+       (QCheck.pair
+          (Helpers.arbitrary_circuit ~nins:4 ~nregs:3 ~ngates:14)
+          QCheck.small_int)
+       (fun (rc, seed) ->
+         let c = rc.Helpers.circuit in
+         let view = Sview.whole c ~roots:[ rc.Helpers.out ] in
+         let free_at lane s = tern (Hashtbl.hash (seed, lane, 'f', s)) in
+         let state_at lane r = tern (Hashtbl.hash (seed, lane, 's', r)) in
+         let vec =
+           Packed.eval view
+             ~free:(fun s -> Packed.of_fun (fun lane -> free_at lane s))
+             ~state:(fun r -> Packed.of_fun (fun lane -> state_at lane r))
+         in
+         let ok = ref true in
+         for lane = 0 to Packed.lanes - 1 do
+           let scalar =
+             Sim3v.eval view ~free:(free_at lane) ~state:(state_at lane)
+           in
+           Array.iteri
+             (fun s v ->
+               if Packed.read_lane vec s ~lane <> v then ok := false)
+             scalar
+         done;
+         !ok))
+
+(* Multi-cycle differential over the design zoo: packed [run] against
+   one scalar [run] per lane, all signals, all cycles. *)
+let test_packed_zoo_differential () =
+  let fifo = Rfn_designs.Fifo.(make ~params:small ()) in
+  let designs =
+    [
+      ("counter3", Helpers.counter_design ~width:3 ~limit:7);
+      ("deep_bug3", Helpers.deep_bug_design ~width:3);
+      ("fifo_small", fifo.Rfn_designs.Fifo.circuit);
+    ]
+  in
+  let c_words = Telemetry.counter "sim.packed_words" in
+  let before = Telemetry.counter_value c_words in
+  List.iter
+    (fun (name, c) ->
+      let view = Sview.whole c ~roots:(List.map snd c.Circuit.outputs) in
+      let cycles = 6 in
+      let init_at lane r = tern (Hashtbl.hash (name, lane, 'r', r)) in
+      let input_at cycle lane s = tern (Hashtbl.hash (name, cycle, lane, s)) in
+      let pvecs =
+        Packed.run view
+          ~init:(fun r -> Packed.of_fun (fun lane -> init_at lane r))
+          ~inputs:(fun ~cycle s ->
+            Packed.of_fun (fun lane -> input_at cycle lane s))
+          ~cycles
+      in
+      for lane = 0 to Packed.lanes - 1 do
+        let svecs =
+          Sim3v.run view ~init:(init_at lane)
+            ~inputs:(fun ~cycle s -> input_at cycle lane s)
+            ~cycles
+        in
+        Array.iteri
+          (fun cyc frame ->
+            Array.iteri
+              (fun s v ->
+                if Packed.read_lane pvecs.(cyc) s ~lane <> v then
+                  Alcotest.fail
+                    (Printf.sprintf
+                       "%s: signal %s diverges at cycle %d lane %d" name
+                       (Circuit.name c s) cyc lane))
+              frame)
+          svecs
+      done)
+    designs;
+  Alcotest.(check bool)
+    "packed evaluation is counted in sim.packed_words" true
+    (Telemetry.counter_value c_words > before)
+
 let tests =
   [
     Alcotest.test_case "ternary gate semantics" `Quick test_gate_semantics;
@@ -140,6 +247,10 @@ let tests =
     x_monotone;
     Alcotest.test_case "sequential run" `Quick test_run_counts_cycles;
     Alcotest.test_case "concrete trace replay" `Quick test_replay_concrete;
+    Alcotest.test_case "packed word operations" `Quick test_packed_words;
+    packed_differential;
+    Alcotest.test_case "packed zoo differential" `Quick
+      test_packed_zoo_differential;
   ]
 
 let () = Alcotest.run "sim3v" [ ("sim3v", tests) ]
