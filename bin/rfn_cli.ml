@@ -9,6 +9,7 @@ module Rfn = Rfn_core.Rfn
 module Coverage = Rfn_core.Coverage
 module Telemetry = Rfn_obs.Telemetry
 module Lint = Rfn_lint.Lint
+module Analysis = Rfn_analysis.Analysis
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -19,8 +20,8 @@ let load path =
   | Failure msg -> Error msg
   | Sys_error msg -> Error msg
 
-let config_of ~max_seconds ~node_limit ~max_iterations ~engines ~inject ~race
-    ~checkpoint ~resume =
+let config_of ~max_seconds ~node_limit ~max_iterations ~engines ~analyze
+    ~inject ~race ~checkpoint ~resume =
   let proc =
     if race then { (Rfn_proc.Proc.policy_of_env ()) with Rfn_proc.Proc.enabled = true }
     else Rfn_proc.Proc.policy_of_env ()
@@ -31,6 +32,7 @@ let config_of ~max_seconds ~node_limit ~max_iterations ~engines ~inject ~race
     node_limit;
     max_iterations;
     engines;
+    analyze;
     inject;
     proc;
     checkpoint;
@@ -112,6 +114,21 @@ let teardown_telemetry ~profile =
    exception. *)
 let with_telemetry ~profile f =
   Fun.protect ~finally:(fun () -> teardown_telemetry ~profile) f
+
+(* --analyze pre-flight shared by verify, bmc and serve: infer and
+   inductively prove netlist invariants, then feed them to every
+   engine. *)
+let analyze_arg =
+  Cmdliner.Arg.(
+    value
+    & flag
+    & info [ "analyze" ]
+        ~doc:
+          "Run the static invariant-inference pre-flight (abstract \
+           interpretation + SAT sweeping, every invariant inductively \
+           proved) and feed the proven invariants to the engines: a care \
+           set for the abstract fixpoint, persistent clauses for the SAT \
+           unrollings, a don't-care filter for guided ATPG.")
 
 (* --lint pre-flight shared by verify and bmc: refuse to start an
    engine on a design the linter rejects. *)
@@ -200,9 +217,9 @@ let verify_cmd =
       & info [ "inject-faults" ] ~docv:"SITES" ~docs:Cmdliner.Manpage.s_none)
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
-  let run netlist prop seconds nodes iters engines trace_out baseline race
-      checkpoint resume inject_faults lint metrics_out chrome_trace profile
-      verbose =
+  let run netlist prop seconds nodes iters engines analyze trace_out baseline
+      race checkpoint resume inject_faults lint metrics_out chrome_trace
+      profile verbose =
     setup_logs verbose;
     match load netlist with
     | Error msg ->
@@ -243,7 +260,8 @@ let verify_cmd =
         with_telemetry ~profile @@ fun () ->
         let config =
           config_of ~max_seconds:seconds ~node_limit:nodes
-            ~max_iterations:iters ~engines ~inject ~race ~checkpoint ~resume
+            ~max_iterations:iters ~engines ~analyze ~inject ~race ~checkpoint
+            ~resume
         in
         let outcome, stats = Rfn.verify ~config circuit property in
         Format.printf
@@ -294,8 +312,9 @@ let verify_cmd =
        ~doc:"Verify that an output signal can never be driven to 1.")
     Term.(
       const run $ netlist $ prop $ seconds $ nodes $ iters $ engines_arg
-      $ trace_out $ baseline $ race $ checkpoint $ resume $ inject_faults
-      $ lint_arg $ metrics_out_arg $ trace_out_arg $ profile_arg $ verbose)
+      $ analyze_arg $ trace_out $ baseline $ race $ checkpoint $ resume
+      $ inject_faults $ lint_arg $ metrics_out_arg $ trace_out_arg
+      $ profile_arg $ verbose)
 
 (* ---- rfn coverage --------------------------------------------------- *)
 
@@ -383,7 +402,7 @@ let bmc_cmd =
              $(b,sat) (one incremental CNF instance across depths; \
              --max-backtracks bounds conflicts).")
   in
-  let run netlist prop depth backtracks engine lint =
+  let run netlist prop depth backtracks engine analyze lint =
     match load netlist with
     | Error msg ->
       Format.eprintf "error: %s@." msg;
@@ -402,6 +421,20 @@ let bmc_cmd =
         let limits =
           { Rfn_atpg.Atpg.max_backtracks = backtracks; max_seconds = None }
         in
+        (* --analyze: the SAT engine consumes the proven invariants as
+           persistent clauses; plain per-depth ATPG has no clause
+           database, so there the pre-flight only reports. *)
+        let analysis =
+          if not analyze then None
+          else begin
+            let a = Analysis.run circuit in
+            Format.eprintf
+              "analysis: %d invariant(s) proved (%d candidate(s), %.2fs)@."
+              a.Analysis.stats.Analysis.proved
+              a.Analysis.stats.Analysis.candidates a.Analysis.seconds;
+            Some a
+          end
+        in
         let outcome, describe =
           match engine with
           | `Atpg ->
@@ -415,7 +448,8 @@ let bmc_cmd =
                   stats.Rfn_atpg.Atpg.backtracks )
           | `Sat ->
             let outcome, stats =
-              Rfn_core.Sat_bmc.falsify ~limits circuit ~bad ~max_depth:depth
+              Rfn_core.Sat_bmc.falsify ~limits ?analysis circuit ~bad
+                ~max_depth:depth
             in
             ( outcome,
               fun () ->
@@ -444,7 +478,9 @@ let bmc_cmd =
          "Bounded falsification without abstraction or guidance, by plain \
           sequential ATPG or incremental SAT — the baselines RFN's guided \
           search improves on.")
-    Term.(const run $ netlist $ prop $ depth $ backtracks $ engine $ lint_arg)
+    Term.(
+      const run $ netlist $ prop $ depth $ backtracks $ engine $ analyze_arg
+      $ lint_arg)
 
 (* ---- rfn lint --------------------------------------------------------- *)
 
@@ -516,6 +552,110 @@ let lint_cmd =
           finding is reported.")
     Term.(
       const run $ netlist $ props $ json $ only $ metrics_out_arg $ profile_arg)
+
+(* ---- rfn analyze ------------------------------------------------------ *)
+
+let analyze_cmd =
+  let netlist =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the proven invariants and statistics as a JSON object \
+             (signal ids, machine-readable).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Use the reduced mining/proving budget the lint passes use \
+             (fewer simulation patterns, a smaller conflict limit).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Seed for the candidate-mining simulation. Only the candidate \
+             set depends on it — everything reported is still inductively \
+             proved.")
+  in
+  let merge =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "merge" ] ~docv:"FILE"
+          ~doc:
+            "Apply the proven equivalences to the netlist — every redundant \
+             signal rewired to its surviving representative \
+             ($(b,Opt.merge_equivalences)) — and write the merged design to \
+             $(docv) (extension picks the format, as in $(b,simplify -o)).")
+  in
+  let run netlist json quick seed merge metrics_out profile =
+    match load netlist with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok circuit -> (
+      match setup_telemetry ~metrics_out ~profile () with
+      | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+      | Ok () ->
+        with_telemetry ~profile @@ fun () ->
+        let config =
+          {
+            (if quick then Analysis.quick_config else Analysis.default_config)
+            with
+            Analysis.seed;
+          }
+        in
+        let a = Analysis.run ~config circuit in
+        if json then
+          print_endline (Rfn_obs.Json.to_string (Analysis.to_json a))
+        else begin
+          List.iter
+            (fun inv ->
+              Format.printf "  %s@." (Analysis.describe circuit inv))
+            a.Analysis.invariants;
+          Format.printf
+            "%d candidate(s): %d proved, %d refuted, %d unknown (%.2fs)@."
+            a.Analysis.stats.Analysis.candidates
+            a.Analysis.stats.Analysis.proved a.Analysis.stats.Analysis.refuted
+            a.Analysis.stats.Analysis.unknown a.Analysis.seconds
+        end;
+        (match merge with
+        | None -> ()
+        | Some file ->
+          let merged, _, applied =
+            Opt.merge_equivalences circuit (Analysis.equiv_pairs a)
+          in
+          Telemetry.add (Telemetry.counter "analysis.merged_gates") applied;
+          Format.eprintf "merged %d equivalent signal(s): %d -> %d signals@."
+            applied
+            (Circuit.num_signals circuit)
+            (Circuit.num_signals merged);
+          Netlist_io.save
+            ~bads:(List.map fst merged.Circuit.outputs)
+            file merged);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Infer netlist invariants by abstract interpretation over packed \
+          ternary simulation (constant registers, implication pairs, \
+          one-hot/mutex register groups) and SAT sweeping (equivalent \
+          signals), prove each candidate by induction, and report only the \
+          proven ones. The same invariants feed the verification engines \
+          under $(b,verify --analyze).")
+    Term.(
+      const run $ netlist $ json $ quick $ seed $ merge $ metrics_out_arg
+      $ profile_arg)
 
 (* ---- rfn simplify ----------------------------------------------------- *)
 
@@ -605,7 +745,7 @@ let serve_cmd =
              over process-isolated engine workers, as in $(b,verify --race).")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
-  let run socket max_sessions max_nodes checkpoint_dir engines race
+  let run socket max_sessions max_nodes checkpoint_dir engines analyze race
       metrics_out chrome_trace profile verbose =
     setup_logs verbose;
     match setup_telemetry ~trace_out:chrome_trace ~metrics_out ~profile () with
@@ -619,7 +759,7 @@ let serve_cmd =
           ~max_seconds:Rfn.default_config.Rfn.max_seconds
           ~node_limit:Rfn.default_config.Rfn.node_limit
           ~max_iterations:Rfn.default_config.Rfn.max_iterations ~engines
-          ~inject:None ~race ~checkpoint:None ~resume:false
+          ~analyze ~inject:None ~race ~checkpoint:None ~resume:false
       in
       let limits =
         { Rfn_serve.Server.max_sessions = max 1 max_sessions; max_nodes }
@@ -646,8 +786,8 @@ let serve_cmd =
           failure, per-job counters and provenance).")
     Term.(
       const run $ socket $ max_sessions $ max_nodes $ checkpoint_dir
-      $ engines_arg $ race $ metrics_out_arg $ trace_out_arg $ profile_arg
-      $ verbose)
+      $ engines_arg $ analyze_arg $ race $ metrics_out_arg $ trace_out_arg
+      $ profile_arg $ verbose)
 
 (* ---- rfn explain ---------------------------------------------------- *)
 
@@ -835,6 +975,7 @@ let () =
             coverage_cmd;
             bmc_cmd;
             lint_cmd;
+            analyze_cmd;
             simplify_cmd;
             serve_cmd;
             explain_cmd;

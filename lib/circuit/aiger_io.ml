@@ -380,24 +380,37 @@ let mkor g a b0 = mknot (mkand g (mknot a) (mknot b0))
 let mkxor g a b0 = mkor g (mkand g a (mknot b0)) (mkand g (mknot a) b0)
 let mkmux g sel d0 d1 = mkor g (mkand g sel d1) (mkand g (mknot sel) d0)
 
-let fold1 op g = function
-  | [] -> invalid_arg "Aiger_io: gate with no fanins"
+let fanin1 ~gate (kind : Gate.kind) = function
+  | [ x ] -> x
+  | lits ->
+    invalid_arg
+      (Printf.sprintf "Aiger_io: %s gate %S has %d fanins (expected 1)"
+         (Gate.to_string kind) gate (List.length lits))
+
+let fold1 ~gate kind op g = function
+  | [] ->
+    invalid_arg
+      (Printf.sprintf "Aiger_io: %s gate %S has no fanins"
+         (Gate.to_string kind) gate)
   | x :: rest -> List.fold_left (op g) x rest
 
-let lower g (kind : Gate.kind) lits =
+let lower g ~gate (kind : Gate.kind) lits =
   match kind with
-  | Gate.Not -> mknot (List.hd lits)
-  | Gate.Buf -> List.hd lits
-  | Gate.And -> fold1 mkand g lits
-  | Gate.Nand -> mknot (fold1 mkand g lits)
-  | Gate.Or -> fold1 mkor g lits
-  | Gate.Nor -> mknot (fold1 mkor g lits)
-  | Gate.Xor -> fold1 mkxor g lits
-  | Gate.Xnor -> mknot (fold1 mkxor g lits)
+  | Gate.Not -> mknot (fanin1 ~gate kind lits)
+  | Gate.Buf -> fanin1 ~gate kind lits
+  | Gate.And -> fold1 ~gate kind mkand g lits
+  | Gate.Nand -> mknot (fold1 ~gate kind mkand g lits)
+  | Gate.Or -> fold1 ~gate kind mkor g lits
+  | Gate.Nor -> mknot (fold1 ~gate kind mkor g lits)
+  | Gate.Xor -> fold1 ~gate kind mkxor g lits
+  | Gate.Xnor -> mknot (fold1 ~gate kind mkxor g lits)
   | Gate.Mux -> (
     match lits with
     | [ sel; d0; d1 ] -> mkmux g sel d0 d1
-    | _ -> invalid_arg "Aiger_io: MUX arity")
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "Aiger_io: Mux gate %S has %d fanins (expected 3)"
+           gate (List.length lits)))
 
 let encode_varint buf n =
   let n = ref n in
@@ -425,7 +438,7 @@ let to_string ?(binary = false) ?(bads = []) (c : Circuit.t) =
         let lits =
           Array.to_list (Array.map (fun f -> lit_of.(f)) fanins)
         in
-        lit_of.(s) <- lower g kind lits)
+        lit_of.(s) <- lower g ~gate:(Circuit.name c s) kind lits)
     c.Circuit.topo;
   let ands = Array.of_list (List.rev g.rev_ands) in
   let m = ni + nl + g.n_ands in

@@ -30,3 +30,10 @@ val to_string : ?binary:bool -> ?bads:string list -> Circuit.t -> string
 val write_file : ?binary:bool -> ?bads:string list -> string -> Circuit.t -> unit
 (** [write_file path c] writes [to_string c] to [path]; when [binary]
     is omitted it is inferred from a [.aig] extension. *)
+
+val fanin1 : gate:string -> Gate.kind -> int list -> int
+(** The single fanin of a [Not]/[Buf] cell being lowered to AIG
+    literals. Any other arity — impossible for {!Circuit.Builder}-built
+    designs, but this is the writer's last line of defence — raises
+    [Invalid_argument] naming the gate instead of a bare
+    [Failure "hd"]. Exposed for the regression suite. *)

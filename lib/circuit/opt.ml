@@ -274,3 +274,72 @@ let simplify c =
       registers_after = Circuit.num_registers c';
       constants_folded = !folded;
     } )
+
+let merge_equivalences c pairs =
+  let n = Circuit.num_signals c in
+  let pos = Array.make n 0 in
+  Array.iteri (fun i s -> pos.(s) <- i) c.Circuit.topo;
+  (* drop -> (keep, phase); chains resolve transitively below *)
+  let target = Array.make n (-1) in
+  let tphase = Array.make n false in
+  let applied = ref 0 in
+  List.iter
+    (fun (keep, drop, phase) ->
+      if
+        keep >= 0 && keep < n && drop >= 0 && drop < n && keep <> drop
+        && pos.(keep) < pos.(drop)
+        && target.(drop) = -1
+        &&
+        match Circuit.node c drop with
+        | Circuit.Input | Circuit.Const _ -> false
+        | Circuit.Gate _ | Circuit.Reg _ -> true
+      then begin
+        target.(drop) <- keep;
+        tphase.(drop) <- phase;
+        incr applied
+      end)
+    pairs;
+  let rec resolve s phase =
+    if target.(s) = -1 then (s, phase)
+    else resolve target.(s) (phase <> tphase.(s))
+  in
+  let b = B.create () in
+  let map = Array.make n (-1) in
+  (* surviving registers first, so feedback can resolve *)
+  Array.iter
+    (fun r ->
+      if target.(r) = -1 then
+        match Circuit.node c r with
+        | Circuit.Reg { init; _ } -> map.(r) <- B.reg b ~init (Circuit.name c r)
+        | _ -> ())
+    c.Circuit.registers;
+  Array.iter
+    (fun s ->
+      if map.(s) = -1 then
+        if target.(s) <> -1 then begin
+          let keep, phase = resolve s false in
+          map.(s) <- (if phase then B.not_ b map.(keep) else map.(keep))
+        end
+        else
+          map.(s) <-
+            (match Circuit.node c s with
+            | Circuit.Input -> B.input b (Circuit.name c s)
+            | Circuit.Const v -> B.const b v
+            | Circuit.Gate (kind, fanins) ->
+              B.gate b kind (Array.map (fun f -> map.(f)) fanins)
+            | Circuit.Reg _ -> assert false (* created above *)))
+    c.Circuit.topo;
+  Array.iter
+    (fun r ->
+      if target.(r) = -1 then
+        match Circuit.node c r with
+        | Circuit.Reg { next; _ } -> B.connect b map.(r) map.(next)
+        | _ -> ())
+    c.Circuit.registers;
+  List.iter (fun (name, s) -> B.output b name map.(s)) c.Circuit.outputs;
+  let c' = B.finalize b in
+  let lookup s =
+    if s < 0 || s >= n || map.(s) = -1 || target.(s) <> -1 then None
+    else Some map.(s)
+  in
+  (c', lookup, !applied)

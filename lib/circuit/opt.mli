@@ -30,3 +30,21 @@ val simplify : Circuit.t -> Circuit.t * (int -> int option) * report
     identifiers to surviving new ones ([None] if the signal was swept
     or folded into a constant), and statistics. Declared outputs are
     always preserved (rewired to their simplified drivers). *)
+
+val merge_equivalences :
+  Circuit.t -> (int * int * bool) list -> Circuit.t * (int -> int option) * int
+(** [merge_equivalences c pairs] applies proven equivalence directives
+    [(keep, drop, phase)] — meaning [drop = keep xor phase] holds in
+    every reachable state — by rewiring every reader of [drop] to read
+    [keep] (inverted when [phase]) and deleting [drop]'s cell. The
+    rewrite preserves the design's observable behaviour from its
+    initial states (outputs as functions of the input history), which
+    is exactly what the directives assert; it is {e not} a
+    combinational equivalence in general.
+
+    Directives are applied left to right; a directive is skipped (not
+    an error) when [drop] is a primary input or a constant, [keep] does
+    not precede [drop] in topological order, or [drop] was already
+    merged. Chains ([b := a], then [c := b]) resolve transitively.
+    Returns the rewritten design, the old-to-new signal map ([None] for
+    merged or swept signals), and the number of directives applied. *)

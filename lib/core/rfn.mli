@@ -68,6 +68,17 @@ type config = {
       (** which Step-3/Step-4 falsification engines run, and in what
           order (default {!engines_of_env}, i.e. [RFN_ENGINE] or
           {!Atpg_only}) *)
+  analyze : bool;
+      (** run the static invariant-inference pre-flight
+          ({!Rfn_analysis.Analysis.run}) on the concrete netlist before
+          the loop, once per session (a warm session reuses the result
+          across properties — invariants are facts about the design).
+          The inductively *proved* invariants then feed every engine:
+          a care-set restriction of the abstract fixpoint, persistent
+          clauses in both SAT unrollings, and a reachability don't-care
+          filter for guided ATPG. Unproven candidates are never
+          consumed, so the verdict cannot change — only the work to
+          reach it. Default [false] *)
   supervisor : Supervisor.policy;
       (** retry/escalation/fallback and deadline-sharing knobs *)
   inject : (Supervisor.site -> Supervisor.fault option) option;

@@ -15,6 +15,18 @@ let limits_of_atpg (l : Atpg.limits) =
   { Solver.max_conflicts = l.Atpg.max_backtracks;
     max_seconds = l.Atpg.max_seconds }
 
+(* Persistent invariant clauses: both unrollings here start from the
+   initial states (frame-0 registers clamped), so every frame holds a
+   reachable state and the proven invariants may be asserted at each
+   newly encoded frame. *)
+let assume_invariants analysis unr ~from =
+  match analysis with
+  | None -> ()
+  | Some a ->
+    for f = from to Cnf.frames unr - 1 do
+      ignore (Rfn_analysis.Analysis.assume_frame a unr ~frame:f)
+    done
+
 (* Pins of an abstract trace, cycle by cycle (the cubes only constrain
    registers and inputs, both of which have frame literals on the whole
    design). *)
@@ -42,7 +54,7 @@ let unrolling_violation ~what unr ~pins =
     | exception Check.Violation (w, fs) ->
       Some (Check.violation_message w fs)
 
-let falsify ?(limits = Atpg.default_limits) circuit ~bad ~max_depth =
+let falsify ?(limits = Atpg.default_limits) ?analysis circuit ~bad ~max_depth =
   Telemetry.incr c_falsify;
   let view = Sview.whole circuit ~roots:[ bad ] in
   let unr = Cnf.create view in
@@ -51,7 +63,9 @@ let falsify ?(limits = Atpg.default_limits) circuit ~bad ~max_depth =
   let rec deepen depth =
     if depth > max_depth then (Bmc.Exhausted, Solver.stats solver)
     else begin
+      let encoded = Cnf.frames unr in
       Cnf.extend unr ~frames:depth;
+      assume_invariants analysis unr ~from:encoded;
       match unrolling_violation ~what:"sat_bmc.falsify unrolling" unr ~pins:[]
       with
       | Some _ ->
@@ -78,7 +92,8 @@ let falsify ?(limits = Atpg.default_limits) circuit ~bad ~max_depth =
   in
   deepen 1
 
-let concretize ?(limits = Atpg.default_limits) circuit ~bad ~abstract_traces =
+let concretize ?(limits = Atpg.default_limits) ?analysis circuit ~bad
+    ~abstract_traces =
   if abstract_traces = [] then
     invalid_arg "Sat_bmc.concretize: no abstract traces";
   Telemetry.incr c_concretize;
@@ -94,7 +109,9 @@ let concretize ?(limits = Atpg.default_limits) circuit ~bad ~abstract_traces =
         Solver.stats solver )
     | tr :: rest -> (
       let frames = Trace.length tr in
+      let encoded = Cnf.frames unr in
       Cnf.extend unr ~frames;
+      assume_invariants analysis unr ~from:encoded;
       let pins = trace_pins tr in
       match
         unrolling_violation ~what:"sat_bmc.concretize unrolling" unr ~pins

@@ -24,6 +24,7 @@ val limits_of_atpg : Rfn_atpg.Atpg.limits -> Rfn_sat.Solver.limits
 
 val falsify :
   ?limits:Rfn_atpg.Atpg.limits ->
+  ?analysis:Rfn_analysis.Analysis.t ->
   Rfn_circuit.Circuit.t ->
   bad:int ->
   max_depth:int ->
@@ -32,10 +33,17 @@ val falsify :
     order on one incremental instance, a [Found] trace is a shortest
     counterexample and is validated by concrete replay before being
     reported. Statistics are the solver's lifetime totals for this
-    instance. *)
+    instance.
+
+    [analysis] asserts the proven invariants as persistent clauses at
+    every encoded frame ({!Rfn_analysis.Analysis.assume_frame}) —
+    sound because the unrolling starts from the initial states, so
+    every frame holds a reachable state. The clauses prune the search
+    without removing any genuine counterexample. *)
 
 val concretize :
   ?limits:Rfn_atpg.Atpg.limits ->
+  ?analysis:Rfn_analysis.Analysis.t ->
   Rfn_circuit.Circuit.t ->
   bad:int ->
   abstract_traces:Rfn_circuit.Trace.t list ->

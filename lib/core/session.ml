@@ -53,6 +53,10 @@ type t = {
   mutable baseline_nodes : int;
       (* node count after the last accepted prepare — what the
          grow-blowup threshold is relative to *)
+  mutable analysis : Rfn_analysis.Analysis.t option;
+      (* concrete-design invariants, computed once per session and
+         reused across properties (they are facts about the circuit,
+         not about any abstraction) *)
 }
 
 let create ?(node_limit = max_int) ?(policy = default_policy) circuit ~roots =
@@ -67,9 +71,12 @@ let create ?(node_limit = max_int) ?(policy = default_policy) circuit ~roots =
     prepared = None;
     grew = false;
     baseline_nodes = 0;
+    analysis = None;
   }
 
 let abstraction t = t.abstraction
+let analysis t = t.analysis
+let set_analysis t a = t.analysis <- Some a
 let circuit t = t.abstraction.Abstraction.circuit
 let policy t = t.policy
 let varmap t = t.vm
@@ -190,19 +197,38 @@ let rebuild t =
    [memo values @ clusters] in that order, [map] the variable
    permutation. The new manager starts with an empty protected set, so
    every carried handle is re-protected. *)
+let translate_root tr ~what f =
+  match Hashtbl.find_opt tr f with
+  | Some f' -> f'
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Session.adopt_sifted: %s missing from the sift translation" what)
+
 let adopt_sifted t vm ~man' ~old_roots ~roots' ~map =
   let tr = Hashtbl.create 997 in
   List.iter2 (fun o n -> Hashtbl.replace tr o n) old_roots roots';
-  let translate f = Hashtbl.find tr f in
   let memo' = Hashtbl.create (Hashtbl.length t.memo) in
   Hashtbl.iter
-    (fun s f -> Hashtbl.replace memo' s (Bdd.protect man' (translate f)))
+    (fun s f ->
+      let what =
+        Printf.sprintf "cone of signal %d (%S)" s (Circuit.name (circuit t) s)
+      in
+      Hashtbl.replace memo' s (Bdd.protect man' (translate_root tr ~what f)))
     t.memo;
   t.memo <- memo';
   t.cache.Image.entries <-
-    Array.map (fun (r, v, f) -> (r, map v, translate f)) t.cache.Image.entries;
+    Array.mapi
+      (fun i (r, v, f) ->
+        let what = Printf.sprintf "relation entry %d" i in
+        (r, map v, translate_root tr ~what f))
+      t.cache.Image.entries;
   t.cache.Image.clusters <-
-    Array.map (fun c -> Bdd.protect man' (translate c)) t.cache.Image.clusters;
+    Array.mapi
+      (fun i c ->
+        let what = Printf.sprintf "transition cluster %d" i in
+        Bdd.protect man' (translate_root tr ~what c))
+      t.cache.Image.clusters;
   let vm' = Varmap.remap vm ~man:man' ~map in
   t.vm <- Some vm';
   vm'

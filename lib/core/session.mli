@@ -83,6 +83,26 @@ val varmap : t -> Rfn_mc.Varmap.t option
 (** The session's current varmap, if one has been built — the
     [RFN_CHECK] invariant checker's view into the shared state. *)
 
+val analysis : t -> Rfn_analysis.Analysis.t option
+(** The concrete-design invariants cached on the session, if the
+    [--analyze] pre-flight has run. Invariants are facts about the
+    circuit, not about any abstraction, so a warm session reuses them
+    across retargets. *)
+
+val set_analysis : t -> Rfn_analysis.Analysis.t -> unit
+
+val translate_root :
+  (Rfn_bdd.Bdd.t, Rfn_bdd.Bdd.t) Hashtbl.t ->
+  what:string ->
+  Rfn_bdd.Bdd.t ->
+  Rfn_bdd.Bdd.t
+(** Total lookup used when adopting a reordered manager: the
+    translation table maps every root handed to
+    {!Rfn_bdd.Reorder.sift}; a miss — impossible unless the reorderer
+    broke its contract — raises [Invalid_argument] naming the
+    structure ([what]) instead of escaping as a bare [Not_found].
+    Exposed for the regression suite. *)
+
 val cone_signals : t -> int list
 (** Signals holding a compiled cone in the session memo (the
     [Rfn_lint.Check.cone_cache] input). Total over the view's inside

@@ -5,6 +5,9 @@ module Coi = Rfn_circuit.Coi
 module Sview = Rfn_circuit.Sview
 module Bitset = Rfn_circuit.Bitset
 module Sim3v = Rfn_sim3v.Sim3v
+module Cnf = Rfn_sat.Cnf
+module Solver = Rfn_sat.Solver
+module Analysis = Rfn_analysis.Analysis
 module Json = Rfn_obs.Json
 module Telemetry = Rfn_obs.Telemetry
 
@@ -257,6 +260,124 @@ let pass_duplicate_gate =
         |> List.sort (fun a b -> compare a.signals b.signals));
   }
 
+(* ---- invariant-backed passes ----------------------------------------- *)
+
+(* Both passes below consume Rfn_analysis invariants, which are
+   inductively *proved* before they are reported — no finding here
+   rests on a simulation guess. The quick configuration keeps the
+   mining/proving budget at lint latencies. *)
+
+let is_reg c s =
+  match Circuit.node c s with Circuit.Reg _ -> true | _ -> false
+
+let pass_equiv_reg =
+  {
+    name = "equiv-reg";
+    doc = "registers inductively proved equivalent to an earlier signal";
+    run =
+      (fun { circuit = c; _ } ->
+        if Array.length c.Circuit.registers = 0 then []
+        else
+          let a = Analysis.run ~config:Analysis.quick_config c in
+          List.filter_map
+            (fun inv ->
+              match inv with
+              | Analysis.Equiv { keep; drop; phase } when is_reg c drop ->
+                Some
+                  (finding ~pass:"equiv-reg" ~severity:Warning
+                     ~signals:[ drop; keep ]
+                     (Printf.sprintf
+                        "register %S is redundant: in every reachable state \
+                         it equals %s%S"
+                        (Circuit.name c drop)
+                        (if phase then "the complement of " else "")
+                        (Circuit.name c keep)))
+              | _ -> None)
+            a.Analysis.invariants);
+  }
+
+let pass_onehot_violation =
+  {
+    name = "onehot-violation";
+    doc =
+      "properties that can only fire by violating a proven one-hot/mutex \
+       register group";
+    run =
+      (fun { circuit = c; props } ->
+        if props = [] || Array.length c.Circuit.registers = 0 then []
+        else begin
+          let a = Analysis.run ~config:Analysis.quick_config c in
+          let groups =
+            List.filter
+              (function
+                | Analysis.Mutex _ | Analysis.One_hot _ -> true
+                | _ -> false)
+              a.Analysis.invariants
+          in
+          if groups = [] then []
+          else begin
+            (* One free-init frame: frame 0 ranges over arbitrary
+               states, so adding the proven group clauses restricts it
+               to the proven encoding — an over-approximation of the
+               reachable states. Unsat for a bad signal that was
+               satisfiable without the clauses means the property can
+               only fire by violating the encoding, which no reachable
+               state does: the check is vacuous. *)
+            let view =
+              Sview.whole c ~roots:(List.map (fun p -> p.Property.bad) props)
+            in
+            let unr = Cnf.create ~free_init:true view in
+            Cnf.extend unr ~frames:1;
+            let solver = Cnf.solver unr in
+            let limits = Analysis.quick_config.Analysis.limits in
+            let solve_bad p =
+              Solver.solve ~limits
+                ~assumptions:[ Cnf.lit_of unr ~frame:0 p.Property.bad ]
+                solver
+            in
+            (* Constant-0 bad signals are prop-const findings, not ours:
+               only keep the properties that can fire at all. *)
+            let fireable =
+              List.filter (fun p -> solve_bad p = Solver.Sat) props
+            in
+            List.iter
+              (fun g ->
+                List.iter
+                  (fun cls ->
+                    let lits =
+                      List.map
+                        (fun (s, v) ->
+                          match Cnf.lit_of_opt unr ~frame:0 s with
+                          | Some l -> Some (if v then l else Solver.neg l)
+                          | None -> None)
+                        cls
+                    in
+                    if List.for_all Option.is_some lits then
+                      Solver.add_clause solver (List.map Option.get lits))
+                  (Analysis.clauses_of g))
+              groups;
+            List.filter_map
+              (fun p ->
+                match solve_bad p with
+                | Solver.Unsat ->
+                  Some
+                    (finding ~pass:"onehot-violation" ~severity:Error
+                       ~signals:
+                         (p.Property.bad
+                         :: List.concat_map Analysis.signals_of groups)
+                       (Printf.sprintf
+                          "property %S can only fire by violating a proven \
+                           register-group invariant (%s): no reachable state \
+                           triggers it"
+                          p.Property.name
+                          (String.concat "; "
+                             (List.map (Analysis.describe c) groups))))
+                | Solver.Sat | Solver.Unknown _ -> None)
+              fireable
+          end
+        end);
+  }
+
 (* ---- property passes ------------------------------------------------- *)
 
 let pass_prop_const =
@@ -331,6 +452,8 @@ let () =
       pass_floating_gate;
       pass_unreachable;
       pass_duplicate_gate;
+      pass_equiv_reg;
+      pass_onehot_violation;
       pass_prop_const;
       pass_prop_free_init;
     ]

@@ -24,6 +24,16 @@
       of every declared output and property;
     - [duplicate-gate] (info) — structurally identical named gates
       (same kind, same fanins) that hash-consing could not merge;
+    - [equiv-reg] (warning) — registers the invariant-inference engine
+      ({!Rfn_analysis.Analysis}, quick budget) inductively {e proved}
+      equal (or antivalent) to an earlier signal in every reachable
+      state — redundant state that {!Rfn_circuit.Opt.merge_equivalences}
+      could fold away;
+    - [onehot-violation] (error) — properties whose bad signal is
+      satisfiable in some state but unsatisfiable under the proven
+      one-hot/mutex register-group invariants: the property can only
+      fire by violating an encoding no reachable state violates, so
+      the check is vacuous;
     - [prop-const] (error for constant-1, warning for constant-0) —
       property signals that are structurally false (the bad signal is
       stuck at 1) or vacuously true (stuck at 0);

@@ -277,6 +277,7 @@ let member k = function
   | _ -> None
 
 let to_int = function Int n -> Some n | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
 
 let to_float = function
   | Float f -> Some f

@@ -28,6 +28,9 @@ val member : string -> t -> t option
 val to_int : t -> int option
 (** [Int n] as [Some n]; anything else (including floats) is [None]. *)
 
+val to_bool : t -> bool option
+(** [Bool b] as [Some b]; anything else is [None]. *)
+
 val to_float : t -> float option
 (** [Float f] or [Int n] as a float. *)
 

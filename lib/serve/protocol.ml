@@ -9,6 +9,7 @@ type budget = {
   mc_max_steps : int option;
   max_seconds : float option;
   engines : Rfn.engines option;
+  analyze : bool option;
 }
 
 let no_budget =
@@ -18,6 +19,7 @@ let no_budget =
     mc_max_steps = None;
     max_seconds = None;
     engines = None;
+    analyze = None;
   }
 
 type submit = {
@@ -38,6 +40,7 @@ let request_of_json j =
   let str name = Option.bind (Json.member name j) Json.to_str in
   let int name = Option.bind (Json.member name j) Json.to_int in
   let flt name = Option.bind (Json.member name j) Json.to_float in
+  let boolean name = Option.bind (Json.member name j) Json.to_bool in
   let required name =
     match str name with
     | Some s -> Ok s
@@ -81,6 +84,7 @@ let request_of_json j =
                mc_max_steps = int "mc_max_steps";
                max_seconds = flt "max_seconds";
                engines;
+               analyze = boolean "analyze";
              };
          })
   | Some op -> Error (Printf.sprintf "unknown op %S" op)
@@ -107,4 +111,5 @@ let submit_to_json s =
     @ opt "max_seconds" (fun f -> Json.Float f) s.budget.max_seconds
     @ opt "engines"
         (fun e -> Json.Str (Rfn.engines_to_string e))
-        s.budget.engines)
+        s.budget.engines
+    @ opt "analyze" (fun b -> Json.Bool b) s.budget.analyze)

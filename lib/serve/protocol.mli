@@ -6,7 +6,7 @@
     {"op":"submit","id":"j1","design":"fifo.bench","property":"psh_hf"}
     {"op":"submit","id":"j2","netlist":"INPUT(a)\n...","property":"bad",
      "max_iterations":32,"node_limit":500000,"mc_max_steps":200,
-     "max_seconds":60.0,"engines":"portfolio"}
+     "max_seconds":60.0,"engines":"portfolio","analyze":true}
     {"op":"status"}            {"op":"status","id":"j1"}
     {"op":"cancel","id":"j1"}
     {"op":"shutdown"}
@@ -28,6 +28,10 @@ type budget = {
   mc_max_steps : int option;
   max_seconds : float option;
   engines : Rfn_core.Rfn.engines option;
+  analyze : bool option;
+      (** run the static invariant-inference pre-flight before the
+          loop; the warm-session cache means one analysis serves a
+          whole batch on the same design *)
 }
 (** Per-job overrides of the server's base config; [None] fields
     inherit. *)

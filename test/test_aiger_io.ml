@@ -161,6 +161,25 @@ let test_error_messages () =
   check_fails "not a number" "aag x 0 0 0 0\n"
     "Aiger_io: line 1: expected a natural number, got \"x\""
 
+(* Lowering a malformed unary gate must raise an [Invalid_argument]
+   naming the gate (a bare [List.hd] here used to escape as
+   [Failure "hd"], telling the user nothing). *)
+let test_fanin1_messages () =
+  Alcotest.(check int) "well-formed unary gate passes through" 42
+    (Aiger_io.fanin1 ~gate:"n1" Gate.Not [ 42 ]);
+  (try
+     ignore (Aiger_io.fanin1 ~gate:"inv_q" Gate.Not []);
+     Alcotest.fail "an empty fanin list must raise"
+   with Invalid_argument msg ->
+     Alcotest.(check string) "empty fanin list"
+       "Aiger_io: NOT gate \"inv_q\" has 0 fanins (expected 1)" msg);
+  try
+    ignore (Aiger_io.fanin1 ~gate:"buf_x" Gate.Buf [ 1; 2; 3 ]);
+    Alcotest.fail "excess fanins must raise"
+  with Invalid_argument msg ->
+    Alcotest.(check string) "excess fanins"
+      "Aiger_io: BUF gate \"buf_x\" has 3 fanins (expected 1)" msg
+
 let test_cycle_error () =
   match Aiger_io.parse "aag 3 1 0 1 2\n2\n6\n4 6 2\n6 4 2\n" with
   | (_ : Circuit.t) -> Alcotest.fail "expected a cycle error"
@@ -267,7 +286,28 @@ let example_end_to_end name () =
   | Rfn.Proved, _ -> ()
   | _ -> Alcotest.fail (name ^ ": token hand-off should be proved safe"));
   let report = Lint.run ~props:[ p ] c in
-  Alcotest.(check int) (name ^ ": lints clean") 0 (Lint.errors report)
+  (* the only expected finding: "both_high" is a mutex-violation
+     watchdog, and the invariant-inference passes prove the mutex —
+     the golden onehot-violation report on a committed design *)
+  (match
+     List.filter
+       (fun f -> f.Lint.severity = Lint.Error)
+       report.Lint.findings
+   with
+  | [ f ] ->
+    Alcotest.(check string)
+      (name ^ ": the one error is the vacuity finding")
+      "onehot-violation" f.Lint.pass;
+    Alcotest.(check string)
+      (name ^ ": golden vacuity message")
+      "property \"both_high\" can only fire by violating a proven \
+       register-group invariant (mutex {q0, q1}): no reachable state \
+       triggers it"
+      f.Lint.message
+  | fs ->
+    Alcotest.failf "%s: expected exactly the vacuity finding, got %d errors"
+      name (List.length fs));
+  Alcotest.(check int) (name ^ ": no warnings") 0 (Lint.warnings report)
 
 let tests =
   [
@@ -277,6 +317,7 @@ let tests =
     Alcotest.test_case "constants and negation" `Quick
       test_constants_and_negation;
     Alcotest.test_case "golden error messages" `Quick test_error_messages;
+    Alcotest.test_case "fanin1 names the gate" `Quick test_fanin1_messages;
     Alcotest.test_case "combinational cycle error" `Quick test_cycle_error;
     Alcotest.test_case "binary truncation error" `Quick test_binary_truncated;
     Alcotest.test_case "ascii/binary round-trip" `Quick

@@ -94,6 +94,69 @@ let test_free_init_and_duplicates () =
   Alcotest.(check bool) "prop-free-init" true (has "prop-free-init");
   Alcotest.(check bool) "duplicate-gate" true (has "duplicate-gate")
 
+(* ---- invariant-backed passes ----------------------------------------- *)
+
+(* A one-hot token ring: "collide" can only fire by violating the
+   proven one-hot group (vacuous, Error); "stuck" genuinely depends on
+   reachable behaviour and must not be flagged. *)
+let test_onehot_violation () =
+  let b = B.create () in
+  let s0 = B.reg b ~init:`One "s0" in
+  let s1 = B.reg b ~init:`Zero "s1" in
+  let s2 = B.reg b ~init:`Zero "s2" in
+  B.connect b s0 s2;
+  B.connect b s1 s0;
+  B.connect b s2 s1;
+  B.output b "collide"
+    (B.gate b ~name:"collide" Gate.Or
+       [| B.and2 b s0 s1; B.and2 b s0 s2; B.and2 b s1 s2 |]);
+  B.output b "stuck" s1;
+  let c = B.finalize b in
+  let props =
+    [ Property.of_output c "collide"; Property.of_output c "stuck" ]
+  in
+  let report = Lint.run ~only:[ "onehot-violation" ] ~props c in
+  match
+    List.filter (fun f -> f.Lint.severity = Lint.Error) report.Lint.findings
+  with
+  | [ f ] ->
+    Alcotest.(check string) "pass name" "onehot-violation" f.Lint.pass;
+    Alcotest.(check bool)
+      "the vacuous property is the one flagged" true
+      (String.length f.Lint.message >= 18
+      && String.sub f.Lint.message 0 18 = "property \"collide\"");
+    Alcotest.(check bool)
+      "the collide signal is implicated" true
+      (List.mem (Circuit.output c "collide") f.Lint.signals)
+  | fs ->
+    Alcotest.failf "expected exactly one onehot-violation error, got %d"
+      (List.length fs)
+
+(* Twin registers clocked from the same function: the redundant one is
+   reported with its keeper, the keeper itself is not flagged. *)
+let test_equiv_reg () =
+  let b = B.create () in
+  let i0 = B.input b "i0" in
+  let ra = B.reg b ~init:`Zero "ra" in
+  let rb = B.reg b ~init:`Zero "rb" in
+  let nxt = B.xor2 b i0 ra in
+  B.connect b ra nxt;
+  B.connect b rb nxt;
+  B.output b "both" (B.and2 b ra rb);
+  let c = B.finalize b in
+  let report = Lint.run ~only:[ "equiv-reg" ] c in
+  match report.Lint.findings with
+  | [ f ] ->
+    Alcotest.(check bool) "warning severity" true
+      (f.Lint.severity = Lint.Warning);
+    Alcotest.(check string) "golden message"
+      "register \"rb\" is redundant: in every reachable state it equals \
+       \"ra\""
+      f.Lint.message
+  | fs ->
+    Alcotest.failf "expected exactly one equiv-reg warning, got %d"
+      (List.length fs)
+
 (* ---- golden reports -------------------------------------------------- *)
 
 let golden name actual expected =
@@ -103,7 +166,7 @@ let test_golden_arbiter () =
   let c = Helpers.arbiter_design () in
   golden "arbiter findings"
     (report_lines c [ Property.of_output c "bad" ])
-    "0 error(s), 0 warning(s), 0 info(s) from 8 pass(es)\n"
+    "0 error(s), 0 warning(s), 0 info(s) from 10 pass(es)\n"
 
 (* The zoo counter carries an unused carry chain beyond the comparator:
    or_15..or_18 feed nothing, so the head of that chain floats. *)
@@ -114,7 +177,7 @@ let test_golden_counter () =
     "warning: [floating-gate] gate \"or_18\" output is never read\n\
      info: [unreachable-logic] 4 signal(s) outside every output/property \
      cone: or_15, and_16, and_17, or_18\n\
-     0 error(s), 1 warning(s), 1 info(s) from 8 pass(es)\n"
+     0 error(s), 1 warning(s), 1 info(s) from 10 pass(es)\n"
 
 let test_golden_deep_bug () =
   let c = Helpers.deep_bug_design ~width:3 in
@@ -123,7 +186,7 @@ let test_golden_deep_bug () =
     "warning: [floating-gate] gate \"or_18\" output is never read\n\
      info: [unreachable-logic] 4 signal(s) outside every output/property \
      cone: or_15, and_16, and_17, or_18\n\
-     0 error(s), 1 warning(s), 1 info(s) from 8 pass(es)\n"
+     0 error(s), 1 warning(s), 1 info(s) from 10 pass(es)\n"
 
 (* dune runtest runs from _build/default/test; dune exec from the root *)
 let fifo_path () =
@@ -136,7 +199,13 @@ let test_golden_fifo () =
     List.map (fun (n, _) -> Property.of_output c n) c.Circuit.outputs
   in
   golden "fifo findings" (report_lines c props)
-    "warning: [floating-gate] gate \"not_8\" output is never read\n\
+    "warning: [equiv-reg] register \"age_0\" is redundant: in every \
+     reachable state it equals \"tail_0\"\n\
+     warning: [equiv-reg] register \"age_1\" is redundant: in every \
+     reachable state it equals \"tail_1\"\n\
+     warning: [equiv-reg] register \"age_2\" is redundant: in every \
+     reachable state it equals \"tail_2\"\n\
+     warning: [floating-gate] gate \"not_8\" output is never read\n\
      warning: [floating-gate] gate \"or_45\" output is never read\n\
      warning: [floating-gate] gate \"or_69\" output is never read\n\
      warning: [floating-gate] gate \"or_103\" output is never read\n\
@@ -146,7 +215,7 @@ let test_golden_fifo () =
      info: [unreachable-logic] 28 signal(s) outside every output/property \
      cone: empty_flag, not_8, or_42, and_43, and_44, or_45, or_66, and_67, \
      ... (20 more)\n\
-     0 error(s), 7 warning(s), 1 info(s) from 8 pass(es)\n"
+     0 error(s), 10 warning(s), 1 info(s) from 10 pass(es)\n"
 
 let test_only_selects_passes () =
   let c = Helpers.arbiter_design () in
@@ -306,6 +375,10 @@ let tests =
     Alcotest.test_case "vacuous + self-loop" `Quick test_vacuous_and_self_loop;
     Alcotest.test_case "free-init + duplicates" `Quick
       test_free_init_and_duplicates;
+    Alcotest.test_case "onehot-violation flags vacuity" `Quick
+      test_onehot_violation;
+    Alcotest.test_case "equiv-reg flags redundant state" `Quick
+      test_equiv_reg;
     Alcotest.test_case "golden: arbiter" `Quick test_golden_arbiter;
     Alcotest.test_case "golden: counter" `Quick test_golden_counter;
     Alcotest.test_case "golden: deep bug" `Quick test_golden_deep_bug;

@@ -308,6 +308,24 @@ let test_check_coi_node_exhaustion () =
   | (`Proved | `Reached _), _ ->
     Alcotest.fail "a 4-node budget cannot model-check the counter"
 
+(* A root missing from the sift translation table must raise an
+   [Invalid_argument] naming the structure (a bare [Hashtbl.find] here
+   used to escape as an anonymous [Not_found]). *)
+let test_translate_root_message () =
+  let man = Bdd.create ~nvars:2 () in
+  let v0 = Bdd.var man 0 and v1 = Bdd.var man 1 in
+  let tr = Hashtbl.create 7 in
+  Hashtbl.replace tr v0 v1;
+  Alcotest.(check bool) "a mapped root translates" true
+    (Session.translate_root tr ~what:"cone cache" v0 == v1);
+  try
+    ignore (Session.translate_root tr ~what:"cone cache" v1);
+    Alcotest.fail "a missing root must raise"
+  with Invalid_argument msg ->
+    Alcotest.(check string) "missing root names the structure"
+      "Session.adopt_sifted: cone cache missing from the sift translation"
+      msg
+
 let tests =
   [
     Alcotest.test_case "incremental vs from-scratch on the zoo" `Quick
@@ -332,6 +350,8 @@ let tests =
       test_bfs_success_has_no_failure;
     Alcotest.test_case "check_coi maps node exhaustion" `Quick
       test_check_coi_node_exhaustion;
+    Alcotest.test_case "translate_root names the structure" `Quick
+      test_translate_root_message;
   ]
 
 let () = Alcotest.run "session" [ ("session", tests) ]
